@@ -1,0 +1,42 @@
+//! Criterion benchmarks of the thermal solvers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use noc_thermal::grid::{GridParams, ThermalGrid};
+use noc_thermal::sprint::SprintThermalModel;
+
+fn bench_steady_state(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thermal_steady_state");
+    for &side in &[4usize, 8, 16] {
+        let grid = ThermalGrid::new(side, side, GridParams::paper_16block());
+        let power: Vec<f64> = (0..side * side).map(|i| 0.3 + (i % 4) as f64).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(side), &side, |b, _| {
+            b.iter(|| grid.steady_state(&power))
+        });
+    }
+    group.finish();
+}
+
+fn bench_transient(c: &mut Criterion) {
+    c.bench_function("thermal_transient_100ms", |b| {
+        let power = vec![3.7; 16];
+        b.iter(|| {
+            let mut grid = ThermalGrid::paper();
+            grid.step_transient(&power, 0.1);
+            grid
+        })
+    });
+}
+
+fn bench_sprint_timeline(c: &mut Criterion) {
+    c.bench_function("sprint_timeline_simulate", |b| {
+        let m = SprintThermalModel::paper();
+        b.iter(|| m.simulate(62.0, 8.0, 5.0, 1.0, 1e-3))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_steady_state, bench_transient, bench_sprint_timeline
+}
+criterion_main!(benches);

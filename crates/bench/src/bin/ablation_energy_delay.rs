@@ -1,0 +1,72 @@
+//! Ablation: energy, delay, and energy-delay products per policy.
+//!
+//! Speedup (Fig. 7) and power (Fig. 8) are two axes of one trade-off; the
+//! architecture-standard summary is the energy-delay product. Per
+//! benchmark and policy we account chip energy = time-weighted chip power
+//! x execution time, then report suite means of E, D, ED and ED².
+
+use noc_bench::{banner, markdown_table, mean};
+use noc_sprinting::controller::SprintPolicy;
+use noc_sprinting::experiment::Experiment;
+use noc_workload::profile::parsec_suite;
+
+fn main() {
+    print!(
+        "{}",
+        banner(
+            "Ablation",
+            "Energy-delay products per sprint policy",
+            "fine-grained sprinting wins on delay AND energy, so ED/ED² are decisive"
+        )
+    );
+    let e = Experiment::paper();
+    let suite = parsec_suite();
+    let mut rows = Vec::new();
+    let mut ed_by_policy = Vec::new();
+    for policy in SprintPolicy::ALL {
+        let mut delays = Vec::new();
+        let mut energies = Vec::new();
+        let mut eds = Vec::new();
+        let mut ed2s = Vec::new();
+        for b in &suite {
+            let d = e.controller.execution_time(policy, b);
+            let p = e.chip_sprint_power(policy, b);
+            let energy = p * d;
+            delays.push(d);
+            energies.push(energy);
+            eds.push(energy * d);
+            ed2s.push(energy * d * d);
+        }
+        ed_by_policy.push((policy, mean(&eds)));
+        rows.push(vec![
+            policy.name().to_string(),
+            format!("{:.3}", mean(&delays)),
+            format!("{:.1}", mean(&energies)),
+            format!("{:.1}", mean(&eds)),
+            format!("{:.1}", mean(&ed2s)),
+        ]);
+    }
+    println!(
+        "{}",
+        markdown_table(
+            &[
+                "policy",
+                "mean delay (norm.)",
+                "mean energy (J/norm-s)",
+                "mean ED",
+                "mean ED²"
+            ],
+            &rows
+        )
+    );
+    let best = ed_by_policy
+        .iter()
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("four policies");
+    println!("lowest mean energy-delay product: {}", best.0.name());
+    assert_eq!(
+        best.0,
+        SprintPolicy::NocSprinting,
+        "NoC-sprinting must win the ED comparison"
+    );
+}

@@ -1,0 +1,103 @@
+//! Ablation: master-node placement (§3.2's design choice).
+//!
+//! The paper lists candidate master placements — chip center (short thread
+//! migration), the OS core, or next to the memory controller (the paper's
+//! pick: top-left node 0) — and notes implementations are free to choose.
+//! This ablation quantifies the trade-off: intra-region communication
+//! favors a center master; memory-controller traffic favors the corner
+//! master; thermal spreading is placement-sensitive too.
+
+use noc_bench::{banner, markdown_table};
+use noc_sim::geometry::NodeId;
+use noc_sim::topology::Mesh2D;
+use noc_sprinting::floorplan::Floorplan;
+use noc_sprinting::sprint_topology::SprintSet;
+use noc_thermal::grid::ThermalGrid;
+
+/// Mean hops from every active node to the memory controller's attachment
+/// point (node 0's router, as in the paper's system).
+fn mean_hops_to_mc(set: &SprintSet) -> f64 {
+    let mesh = set.mesh();
+    let mc = NodeId(0);
+    set.active_nodes()
+        .iter()
+        .map(|&n| f64::from(mesh.hops(n, mc)))
+        .sum::<f64>()
+        / set.level() as f64
+}
+
+/// Mean pairwise hops within the active region.
+fn mean_intra(set: &SprintSet) -> f64 {
+    let mesh = set.mesh();
+    let nodes = set.active_nodes();
+    if nodes.len() < 2 {
+        return 0.0;
+    }
+    let mut sum = 0.0;
+    let mut cnt = 0.0;
+    for (i, &a) in nodes.iter().enumerate() {
+        for &b in &nodes[i + 1..] {
+            sum += f64::from(mesh.hops(a, b));
+            cnt += 1.0;
+        }
+    }
+    sum / cnt
+}
+
+fn main() {
+    print!(
+        "{}",
+        banner(
+            "Ablation",
+            "Master-node placement",
+            "corner (next to MC) vs center vs edge: communication and thermal \
+             trade-offs of §3.2"
+        )
+    );
+    let mesh = Mesh2D::paper_4x4();
+    let grid = ThermalGrid::paper();
+    let candidates = [
+        ("corner / next-to-MC (node 0)", NodeId(0)),
+        ("center (node 5)", NodeId(5)),
+        ("edge (node 2)", NodeId(2)),
+        ("far corner (node 15)", NodeId(15)),
+    ];
+    for level in [4usize, 8] {
+        println!("--- {level}-core sprinting ---");
+        let mut rows = Vec::new();
+        for (label, master) in candidates {
+            let set = SprintSet::new(mesh, master, level);
+            // Thermal: active tiles at 3.7 W, dark at 0.08 W, identity plan.
+            let mut power = vec![0.08; 16];
+            for &n in set.active_nodes() {
+                power[n.0] = 3.7;
+            }
+            let peak_identity = grid.steady_state(&power).peak().1;
+            let plan = Floorplan::thermal_aware(&set);
+            let peak_planned = grid.steady_state(&plan.physical_power(&power)).peak().1;
+            rows.push(vec![
+                label.to_string(),
+                format!("{:.2}", mean_intra(&set)),
+                format!("{:.2}", mean_hops_to_mc(&set)),
+                format!("{peak_identity:.1} K"),
+                format!("{peak_planned:.1} K"),
+            ]);
+        }
+        println!(
+            "{}",
+            markdown_table(
+                &[
+                    "master placement",
+                    "mean intra-region hops",
+                    "mean hops to MC",
+                    "peak T (identity)",
+                    "peak T (floorplanned)"
+                ],
+                &rows
+            )
+        );
+    }
+    println!("the corner master minimizes memory-controller distance (the paper's");
+    println!("rationale) while the center master minimizes intra-region distance;");
+    println!("thermal-aware floorplanning flattens the difference between them.");
+}

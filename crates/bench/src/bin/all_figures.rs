@@ -1,0 +1,58 @@
+//! Runs every figure/table binary's workload in-process, in order.
+//!
+//! Useful for refreshing EXPERIMENTS.md:
+//!
+//! ```sh
+//! cargo run --release -p noc-bench --bin all_figures | tee experiments.log
+//! ```
+
+use std::process::Command;
+
+fn main() {
+    let figures = [
+        "tab01",
+        "fig01",
+        "fig02",
+        "fig03",
+        "fig04",
+        "fig05",
+        "fig06",
+        "fig07",
+        "fig08",
+        "fig09",
+        "fig10",
+        "fig11",
+        "fig12",
+        "sec44_duration",
+        "ablation_fig11_baselines",
+        "ablation_reactive_gating",
+        "ablation_dim_silicon",
+        "ablation_master_placement",
+        "ablation_smart_links",
+        "ablation_spatial_sprint",
+        "ablation_traffic_patterns",
+        "ablation_memory_traffic",
+        "ablation_coherence",
+        "scale_study",
+        "ablation_energy_delay",
+    ];
+    let exe = std::env::current_exe().expect("own path");
+    let bindir = exe.parent().expect("bin dir");
+    let mut failed = Vec::new();
+    for fig in figures {
+        println!("\n{}\n", "=".repeat(72));
+        let status = Command::new(bindir.join(fig))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {fig}: {e}"));
+        if !status.success() {
+            failed.push(fig);
+        }
+    }
+    println!("\n{}\n", "=".repeat(72));
+    if failed.is_empty() {
+        println!("all {} artifacts regenerated successfully", figures.len());
+    } else {
+        println!("FAILED: {failed:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,177 @@
+//! `explore` — run a custom sprint-network operating point from the
+//! command line.
+//!
+//! ```text
+//! explore [--mesh WxH] [--master N] [--level K] [--rate R]
+//!         [--pattern uniform|transpose|bitcomp|tornado|shuffle|hotspot|neighbor]
+//!         [--full] [--seed S]
+//! ```
+//!
+//! By default: paper 4x4 mesh, master 0, level 4, uniform at 0.1
+//! flits/cycle/node under NoC-sprinting (CDOR + gating); `--full` runs the
+//! fully powered mesh with XY routing instead.
+
+use noc_sim::geometry::NodeId;
+use noc_sim::network::Network;
+use noc_sim::routing::XyRouting;
+use noc_sim::sim::{SimConfig, Simulation};
+use noc_sim::topology::Mesh2D;
+use noc_sim::traffic::{Placement, TrafficGen, TrafficPattern};
+use noc_sprinting::cdor::CdorRouting;
+use noc_sprinting::config::SystemConfig;
+use noc_sprinting::sprint_topology::SprintSet;
+
+#[derive(Debug)]
+struct Args {
+    width: u16,
+    height: u16,
+    master: usize,
+    level: usize,
+    rate: f64,
+    pattern: TrafficPattern,
+    full: bool,
+    seed: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        width: 4,
+        height: 4,
+        master: 0,
+        level: 4,
+        rate: 0.1,
+        pattern: TrafficPattern::UniformRandom,
+        full: false,
+        seed: 1,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let take = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            argv.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("missing value after {}", argv[*i - 1]))
+        };
+        match argv[i].as_str() {
+            "--mesh" => {
+                let v = take(&mut i)?;
+                let (w, h) = v
+                    .split_once(['x', 'X'])
+                    .ok_or_else(|| format!("bad mesh {v}, expected WxH"))?;
+                args.width = w.parse().map_err(|e| format!("bad width: {e}"))?;
+                args.height = h.parse().map_err(|e| format!("bad height: {e}"))?;
+            }
+            "--master" => args.master = take(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--level" => args.level = take(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--rate" => args.rate = take(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--seed" => args.seed = take(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--full" => args.full = true,
+            "--pattern" => {
+                args.pattern = match take(&mut i)?.as_str() {
+                    "uniform" => TrafficPattern::UniformRandom,
+                    "transpose" => TrafficPattern::Transpose,
+                    "bitcomp" => TrafficPattern::BitComplement,
+                    "tornado" => TrafficPattern::Tornado,
+                    "shuffle" => TrafficPattern::Shuffle,
+                    "hotspot" => TrafficPattern::Hotspot { hot_fraction: 0.3 },
+                    "neighbor" => TrafficPattern::NearestNeighbor,
+                    other => return Err(format!("unknown pattern {other}")),
+                };
+            }
+            "--help" | "-h" => {
+                return Err("usage: explore [--mesh WxH] [--master N] [--level K] \
+                            [--rate R] [--pattern P] [--full] [--seed S]"
+                    .into())
+            }
+            other => return Err(format!("unknown flag {other} (try --help)")),
+        }
+        i += 1;
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let mesh = match Mesh2D::new(args.width, args.height) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    if args.master >= mesh.len() || args.level == 0 || args.level > mesh.len() {
+        eprintln!("master/level out of range for {}x{}", args.width, args.height);
+        std::process::exit(2);
+    }
+    let sys = SystemConfig::paper();
+    let set = SprintSet::new(mesh, NodeId(args.master), args.level);
+    println!(
+        "mesh {}x{}, master {}, level {} ({} routers gated), {} @ {} flits/cyc/node, {}",
+        args.width,
+        args.height,
+        args.master,
+        args.level,
+        mesh.len() - args.level,
+        if args.full { "full mesh + XY" } else { "NoC-sprinting (CDOR + gating)" },
+        args.rate,
+        format_args!("pattern {:?}", args.pattern),
+    );
+
+    let (net, placement) = if args.full {
+        (
+            Network::new(mesh, sys.router, Box::new(XyRouting)).expect("network"),
+            Placement::full(&mesh),
+        )
+    } else {
+        let mut net =
+            Network::new(mesh, sys.router, Box::new(CdorRouting::new(&set))).expect("network");
+        net.set_power_mask(set.mask());
+        (
+            net,
+            Placement::new(set.active_nodes().to_vec(), &mesh).expect("placement"),
+        )
+    };
+    let traffic = match TrafficGen::new(args.pattern, placement, args.rate, sys.packet_len, args.seed)
+    {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("traffic setup failed: {e}");
+            std::process::exit(2);
+        }
+    };
+    match Simulation::new(net, traffic, SimConfig::sweep()).run() {
+        Ok(out) => {
+            println!(
+                "packets delivered: {} ({} flits); saturated: {}",
+                out.stats.packets_delivered, out.stats.flits_delivered, out.stats.saturated
+            );
+            println!(
+                "avg packet latency:  {:8.2} cycles (p99 {})",
+                out.stats.avg_packet_latency(),
+                out.stats
+                    .packet_latency
+                    .quantile(0.99)
+                    .map_or("-".into(), |v| v.to_string())
+            );
+            println!(
+                "avg network latency: {:8.2} cycles",
+                out.stats.avg_network_latency()
+            );
+            println!(
+                "accepted throughput: {:8.3} flits/cycle/node",
+                out.stats.accepted_throughput()
+            );
+        }
+        Err(e) => {
+            eprintln!("simulation failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

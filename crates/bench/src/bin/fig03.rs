@@ -1,0 +1,49 @@
+//! Figure 3: chip power breakdown during nominal operation (one active
+//! core) for 4-, 8-, 16- and 32-core CMPs.
+
+use noc_bench::{banner, markdown_table, pct, watts};
+use noc_power::chip::ChipPowerModel;
+
+fn main() {
+    print!(
+        "{}",
+        banner(
+            "Fig. 3",
+            "Chip power breakdown in nominal (single-core) mode",
+            "NoC accounts for 18% / 26% / 35% / 42% of chip power at 4/8/16/32 cores"
+        )
+    );
+    let m = ChipPowerModel::paper();
+    let paper_noc = [0.18, 0.26, 0.35, 0.42];
+    let mut rows = Vec::new();
+    for (i, n) in [4usize, 8, 16, 32].into_iter().enumerate() {
+        let b = m.nominal_breakdown(n);
+        let t = b.total();
+        rows.push(vec![
+            format!("{n}-core"),
+            watts(t),
+            pct(b.cores / t),
+            pct(b.l2 / t),
+            pct(b.noc / t),
+            pct(b.mc / t),
+            pct(b.other / t),
+            pct(paper_noc[i]),
+        ]);
+    }
+    println!(
+        "{}",
+        markdown_table(
+            &[
+                "chip",
+                "total",
+                "cores",
+                "L2",
+                "NoC",
+                "MC",
+                "others",
+                "paper NoC share"
+            ],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,36 @@
+//! Figure 4: PARSEC execution time when increasing the number of available
+//! cores (normalized to single-core).
+
+use noc_bench::{banner, markdown_table};
+use noc_workload::profile::parsec_suite;
+use noc_workload::speedup::{ExecutionModel, OPTIMAL_TOLERANCE};
+
+fn main() {
+    print!(
+        "{}",
+        banner(
+            "Fig. 4",
+            "Execution time vs available cores",
+            "blackscholes/bodytrack scale; freqmine is flat; vips/swaptions \
+             speed up, then slow down past a saturating core count"
+        )
+    );
+    let counts = [1u32, 2, 4, 8, 12, 16];
+    let mut rows = Vec::new();
+    for b in parsec_suite() {
+        let m = ExecutionModel::new(b);
+        let mut row = vec![b.name.to_string()];
+        for &n in &counts {
+            row.push(format!("{:.3}", m.time(n)));
+        }
+        row.push(m.optimal_cores(16, OPTIMAL_TOLERANCE).to_string());
+        row.push(format!("{:?}", b.class));
+        rows.push(row);
+    }
+    let mut headers: Vec<String> = vec!["benchmark".into()];
+    headers.extend(counts.iter().map(|n| format!("T({n})")));
+    headers.push("optimal".into());
+    headers.push("class".into());
+    let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
+    println!("{}", markdown_table(&headers_ref, &rows));
+}

@@ -1,0 +1,75 @@
+//! Figure 5: topology, routing and floorplan for fine-grained sprinting.
+//!
+//! (a) the Algorithm 1 activation order and the 8-core convex region with a
+//! CDOR routing example (the NE-turn path 9 → 5 → 6);
+//! (b) the Algorithm 3/4 thermal-aware physical allocation.
+
+use noc_bench::banner;
+use noc_sim::geometry::NodeId;
+use noc_sim::routing::RoutingFunction;
+use noc_sprinting::cdor::CdorRouting;
+use noc_sprinting::floorplan::Floorplan;
+use noc_sprinting::sprint_topology::{sprint_order, SprintSet};
+
+fn main() {
+    print!(
+        "{}",
+        banner(
+            "Fig. 5",
+            "Topology, routing, and floorplan for fine-grained sprinting",
+            "8-core sprint forms a convex region; CDOR routes 9->6 via the NE \
+             turn at node 5; the floorplan spreads co-sprinting nodes"
+        )
+    );
+    let set = SprintSet::paper(8);
+    let mesh = *set.mesh();
+
+    let order = sprint_order(&mesh, NodeId(0));
+    println!(
+        "(a) Algorithm 1 activation order from master node 0:\n    {:?}\n",
+        order.iter().map(|n| n.0).collect::<Vec<_>>()
+    );
+
+    println!("8-core sprint region (# = active, . = dark):");
+    for y in 0..4u16 {
+        let row: String = (0..4u16)
+            .map(|x| {
+                if set.is_active(mesh.node((x, y).into())) {
+                    " #"
+                } else {
+                    " ."
+                }
+            })
+            .collect();
+        println!("   {row}");
+    }
+
+    let cdor = CdorRouting::new(&set);
+    let path = cdor.path(&mesh, NodeId(9), NodeId(6));
+    println!(
+        "\nCDOR route 9 -> 6: {:?} (NE turn at node 5; Ce(9) = {})",
+        path.iter().map(|n| n.0).collect::<Vec<_>>(),
+        cdor.ce(NodeId(9))
+    );
+
+    let plan = Floorplan::thermal_aware(&SprintSet::paper(16));
+    println!("\n(b) Thermal-aware floorplan (physical grid shows logical node ids):");
+    for y in 0..4usize {
+        let row: String = (0..4usize)
+            .map(|x| format!("{:>4}", plan.logical_at(y * 4 + x).0))
+            .collect();
+        println!("   {row}");
+    }
+    println!(
+        "\nfirst four sprinters {{0, 1, 4, 5}} land on physical slots {:?}",
+        [0usize, 1, 4, 5]
+            .iter()
+            .map(|&n| plan.slot(NodeId(n)))
+            .collect::<Vec<_>>()
+    );
+    println!(
+        "total wire length: identity {:.2} vs thermal-aware {:.2} tile pitches",
+        Floorplan::identity(mesh).total_wire_length(),
+        plan.total_wire_length()
+    );
+}

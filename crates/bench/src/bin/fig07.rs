@@ -1,0 +1,60 @@
+//! Figure 7: execution time with different sprint mechanisms.
+//!
+//! Paper: NoC-sprinting reaches 3.6x mean speedup over non-sprinting while
+//! full-sprinting manages only 1.9x, because past the saturating core count
+//! the extra cores hurt.
+
+use noc_bench::{banner, markdown_table, mean};
+use noc_sprinting::controller::{SprintController, SprintPolicy};
+use noc_workload::profile::parsec_suite;
+
+fn main() {
+    print!(
+        "{}",
+        banner(
+            "Fig. 7",
+            "Execution time per sprint mechanism",
+            "NoC-sprinting 3.6x mean speedup; full-sprinting 1.9x"
+        )
+    );
+    let c = SprintController::paper();
+    let suite = parsec_suite();
+    let mut rows = Vec::new();
+    let mut ns_speedups = Vec::new();
+    let mut full_speedups = Vec::new();
+    for b in &suite {
+        let t_non = c.execution_time(SprintPolicy::NonSprinting, b);
+        let t_full = c.execution_time(SprintPolicy::FullSprinting, b);
+        let t_ns = c.execution_time(SprintPolicy::NocSprinting, b);
+        let level = c.sprint_level(SprintPolicy::NocSprinting, b);
+        ns_speedups.push(1.0 / t_ns);
+        full_speedups.push(1.0 / t_full);
+        rows.push(vec![
+            b.name.to_string(),
+            format!("{t_non:.3}"),
+            format!("{t_full:.3}"),
+            format!("{t_ns:.3}"),
+            level.to_string(),
+            format!("{:.2}x", 1.0 / t_ns),
+        ]);
+    }
+    println!(
+        "{}",
+        markdown_table(
+            &[
+                "benchmark",
+                "non-sprinting",
+                "full-sprinting",
+                "NoC-sprinting",
+                "sprint level",
+                "NoC speedup"
+            ],
+            &rows
+        )
+    );
+    println!(
+        "mean speedup: NoC-sprinting {:.2}x (paper 3.6x), full-sprinting {:.2}x (paper 1.9x)",
+        mean(&ns_speedups),
+        mean(&full_speedups)
+    );
+}

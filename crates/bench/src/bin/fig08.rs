@@ -1,0 +1,66 @@
+//! Figure 8: core power dissipation with different sprinting schemes.
+//!
+//! Paper: fine-grained sprinting saves 25.5% core power versus
+//! full-sprinting even *without* gating; NoC-sprinting (with gating)
+//! saves 69.1% on average — except blackscholes/bodytrack, whose optimum
+//! is full-sprinting and which therefore leave no gating room.
+
+use noc_bench::{banner, markdown_table, mean, pct, reduction};
+use noc_sprinting::controller::SprintPolicy;
+use noc_sprinting::experiment::Experiment;
+use noc_workload::profile::parsec_suite;
+
+fn main() {
+    print!(
+        "{}",
+        banner(
+            "Fig. 8",
+            "Core power per sprinting scheme",
+            "fine-grained (no gating) -25.5%, NoC-sprinting -69.1% vs full-sprinting"
+        )
+    );
+    let e = Experiment::paper();
+    let suite = parsec_suite();
+    let mut rows = Vec::new();
+    let mut fulls = Vec::new();
+    let mut naives = Vec::new();
+    let mut nss = Vec::new();
+    for b in &suite {
+        let full = e.core_power(SprintPolicy::FullSprinting, b);
+        let naive = e.core_power(SprintPolicy::NaiveFineGrained, b);
+        let ns = e.core_power(SprintPolicy::NocSprinting, b);
+        fulls.push(full);
+        naives.push(naive);
+        nss.push(ns);
+        rows.push(vec![
+            b.name.to_string(),
+            format!("{full:.2}"),
+            format!("{naive:.2}"),
+            format!("{ns:.2}"),
+            pct(reduction(full, ns)),
+        ]);
+    }
+    println!(
+        "{}",
+        markdown_table(
+            &[
+                "benchmark",
+                "full-sprinting (W)",
+                "fine-grained no-gating (W)",
+                "NoC-sprinting (W)",
+                "NoC saving"
+            ],
+            &rows
+        )
+    );
+    let mf = mean(&fulls);
+    println!(
+        "mean: full {:.2} W; fine-grained {:.2} W ({} saving, paper 25.5%); \
+         NoC-sprinting {:.2} W ({} saving, paper 69.1%)",
+        mf,
+        mean(&naives),
+        pct(reduction(mf, mean(&naives))),
+        mean(&nss),
+        pct(reduction(mf, mean(&nss))),
+    );
+}

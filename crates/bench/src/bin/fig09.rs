@@ -1,0 +1,58 @@
+//! Figure 9: average network latency running PARSEC under full-sprinting
+//! vs NoC-sprinting.
+//!
+//! Paper: NoC-sprinting cuts network latency by 24.5% on average, because
+//! CDOR confines traffic to the sprint region instead of traversing dark
+//! intermediate routers.
+
+use noc_bench::{banner, markdown_table, mean, pct, reduction};
+use noc_sprinting::controller::SprintPolicy;
+use noc_sprinting::experiment::Experiment;
+use noc_workload::profile::parsec_suite;
+
+fn main() {
+    print!(
+        "{}",
+        banner(
+            "Fig. 9",
+            "Average network latency, PARSEC",
+            "NoC-sprinting cuts network latency by 24.5% on average"
+        )
+    );
+    let e = Experiment::paper();
+    let suite = parsec_suite();
+    let mut rows = Vec::new();
+    let mut cuts = Vec::new();
+    for (i, b) in suite.iter().enumerate() {
+        let full = e
+            .run_network(SprintPolicy::FullSprinting, b, 1000 + i as u64)
+            .expect("full-sprinting run");
+        let ns = e
+            .run_network(SprintPolicy::NocSprinting, b, 1000 + i as u64)
+            .expect("NoC-sprinting run");
+        let cut = reduction(full.avg_network_latency, ns.avg_network_latency);
+        cuts.push(cut);
+        rows.push(vec![
+            b.name.to_string(),
+            format!("{:.1}", full.avg_network_latency),
+            format!("{:.1}", ns.avg_network_latency),
+            pct(cut),
+        ]);
+    }
+    println!(
+        "{}",
+        markdown_table(
+            &[
+                "benchmark",
+                "full-sprinting (cycles)",
+                "NoC-sprinting (cycles)",
+                "reduction"
+            ],
+            &rows
+        )
+    );
+    println!(
+        "mean network-latency reduction: {} (paper 24.5%)",
+        pct(mean(&cuts))
+    );
+}

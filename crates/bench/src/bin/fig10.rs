@@ -1,0 +1,52 @@
+//! Figure 10: total network power running PARSEC under full-sprinting vs
+//! NoC-sprinting.
+//!
+//! Paper: NoC-sprinting saves 71.9% of network power on average by
+//! operating a gated subset of routers and links.
+
+use noc_bench::{banner, markdown_table, mean, pct, reduction, watts};
+use noc_sprinting::controller::SprintPolicy;
+use noc_sprinting::experiment::Experiment;
+use noc_workload::profile::parsec_suite;
+
+fn main() {
+    print!(
+        "{}",
+        banner(
+            "Fig. 10",
+            "Total network power, PARSEC",
+            "NoC-sprinting saves 71.9% network power on average vs full-sprinting"
+        )
+    );
+    let e = Experiment::paper();
+    let suite = parsec_suite();
+    let mut rows = Vec::new();
+    let mut savings = Vec::new();
+    for (i, b) in suite.iter().enumerate() {
+        let full = e
+            .run_network(SprintPolicy::FullSprinting, b, 2000 + i as u64)
+            .expect("full-sprinting run");
+        let ns = e
+            .run_network(SprintPolicy::NocSprinting, b, 2000 + i as u64)
+            .expect("NoC-sprinting run");
+        let saving = reduction(full.network_power, ns.network_power);
+        savings.push(saving);
+        rows.push(vec![
+            b.name.to_string(),
+            watts(full.network_power),
+            watts(ns.network_power),
+            pct(saving),
+        ]);
+    }
+    println!(
+        "{}",
+        markdown_table(
+            &["benchmark", "full-sprinting", "NoC-sprinting", "saving"],
+            &rows
+        )
+    );
+    println!(
+        "mean network-power saving: {} (paper 71.9%)",
+        pct(mean(&savings))
+    );
+}

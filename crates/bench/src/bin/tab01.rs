@@ -1,0 +1,18 @@
+//! Table 1: system and interconnect configuration.
+
+use noc_bench::banner;
+use noc_sprinting::config::SystemConfig;
+
+fn main() {
+    print!(
+        "{}",
+        banner(
+            "Table 1",
+            "System and interconnect configuration",
+            "16 cores @ 2 GHz, 4x4 mesh, 4 VCs x 4 flits, 5-flit packets, 16 B flits"
+        )
+    );
+    let cfg = SystemConfig::paper();
+    println!("{cfg}");
+    assert!(cfg.is_consistent(), "configuration must be self-consistent");
+}

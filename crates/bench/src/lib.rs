@@ -1,0 +1,105 @@
+//! Shared helpers for the figure/table regeneration binaries.
+//!
+//! Each `fig*`/`tab*` binary prints the rows or series of one of the
+//! paper's evaluation artifacts; `all_figures` runs everything and is used
+//! to refresh EXPERIMENTS.md. The helpers here keep the output format
+//! uniform (markdown tables, percent deltas) across binaries.
+
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+
+/// Renders a markdown table.
+///
+/// # Panics
+///
+/// Panics if a row's width differs from the header's.
+pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "| {} |", headers.join(" | "));
+    let _ = writeln!(
+        out,
+        "|{}|",
+        headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
+    for row in rows {
+        assert_eq!(row.len(), headers.len(), "row width mismatch");
+        let _ = writeln!(out, "| {} |", row.join(" | "));
+    }
+    out
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Percentage reduction of `new` versus `base`.
+pub fn reduction(base: f64, new: f64) -> f64 {
+    1.0 - new / base
+}
+
+/// Formats watts with adaptive units.
+pub fn watts(w: f64) -> String {
+    if w >= 1.0 {
+        format!("{w:.2} W")
+    } else {
+        format!("{:.1} mW", w * 1e3)
+    }
+}
+
+/// Standard banner for figure binaries.
+pub fn banner(id: &str, title: &str, paper_claim: &str) -> String {
+    format!(
+        "== {id}: {title} ==\npaper: {paper_claim}\n"
+    )
+}
+
+/// Arithmetic mean.
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "mean of empty slice");
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_rows() {
+        let t = markdown_table(
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
+        );
+        assert!(t.contains("| a | b |"));
+        assert!(t.contains("| 3 | 4 |"));
+        assert_eq!(t.lines().count(), 4);
+    }
+
+    #[test]
+    fn pct_and_reduction() {
+        assert_eq!(pct(0.245), "24.5%");
+        assert!((reduction(10.0, 7.5) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn watts_units() {
+        assert_eq!(watts(2.5), "2.50 W");
+        assert_eq!(watts(0.0032), "3.2 mW");
+    }
+
+    #[test]
+    fn mean_works() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let _ = markdown_table(&["a"], &[vec!["1".into(), "2".into()]]);
+    }
+}

@@ -1,0 +1,392 @@
+//! Algorithm 2: Convex Dimension-Order Routing (CDOR).
+//!
+//! CDOR extends X-Y dimension-order routing to the irregular-but-convex
+//! regions produced by topological sprinting, using only **two connectivity
+//! bits per router** — `Cw` and `Ce`, indicating whether the western/eastern
+//! neighbor is connected (powered and part of the active region):
+//!
+//! - X offset first, as in DOR; but if the required X move is not connected
+//!   (`Ce`/`Cw` clear), move *vertically toward the destination row* — the
+//!   convexity of the region guarantees the vertical neighbor on that side
+//!   exists and that X progress becomes possible by the destination row.
+//! - once X is resolved, route Y as in DOR (column convexity guarantees the
+//!   whole column segment is active).
+//!
+//! The resulting occasional N→E / S→E (and W-side) turns would break the
+//! XY turn model, but are deadlock-free here: an NE turn at a node implies
+//! the east port of its *southern neighbor* is not connected, so the WN turn
+//! that would close a dependency cycle through that neighbor cannot occur
+//! (paper §3.2, Fig. 5a). [`is_deadlock_free`] verifies this by building the
+//! channel-dependency graph and checking it for cycles.
+
+use noc_sim::geometry::{Direction, NodeId, Port};
+use noc_sim::routing::RoutingFunction;
+use noc_sim::topology::Mesh2D;
+
+use crate::convex::is_convex;
+use crate::sprint_topology::SprintSet;
+
+/// The CDOR routing function over a convex active region.
+///
+/// ```
+/// use noc_sim::geometry::NodeId;
+/// use noc_sim::routing::RoutingFunction;
+/// use noc_sprinting::cdor::CdorRouting;
+/// use noc_sprinting::sprint_topology::SprintSet;
+///
+/// let set = SprintSet::paper(8);
+/// let cdor = CdorRouting::new(&set);
+/// // The paper's NE-turn example: 9 -> 6 detours through 5 because node
+/// // 10 is dark (Ce(9) = 0), staying minimal and inside the region.
+/// let path = cdor.path(set.mesh(), NodeId(9), NodeId(6));
+/// assert_eq!(path.iter().map(|n| n.0).collect::<Vec<_>>(), vec![9, 5, 6]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CdorRouting {
+    active: Vec<bool>,
+    /// `Cw`: western neighbor connected.
+    cw: Vec<bool>,
+    /// `Ce`: eastern neighbor connected.
+    ce: Vec<bool>,
+}
+
+impl CdorRouting {
+    /// Builds CDOR for a sprint set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the active region is not convex (Algorithm 1 sets always
+    /// are; hand-built masks must satisfy [`is_convex`]).
+    pub fn new(set: &SprintSet) -> Self {
+        Self::from_mask(set.mesh(), set.mask())
+    }
+
+    /// Builds CDOR from an explicit mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mask is not convex or its length mismatches the mesh.
+    pub fn from_mask(mesh: &Mesh2D, active: &[bool]) -> Self {
+        assert_eq!(active.len(), mesh.len(), "mask length mismatch");
+        assert!(
+            is_convex(mesh, active),
+            "CDOR requires a convex active region"
+        );
+        let bit = |n: NodeId, d: Direction| -> bool {
+            mesh.neighbor(n, d).map(|m| active[m.0]).unwrap_or(false)
+        };
+        CdorRouting {
+            active: active.to_vec(),
+            cw: mesh.nodes().map(|n| bit(n, Direction::West)).collect(),
+            ce: mesh.nodes().map(|n| bit(n, Direction::East)).collect(),
+        }
+    }
+
+    /// The `Ce` connectivity bit of a router.
+    pub fn ce(&self, node: NodeId) -> bool {
+        self.ce[node.0]
+    }
+
+    /// The `Cw` connectivity bit of a router.
+    pub fn cw(&self, node: NodeId) -> bool {
+        self.cw[node.0]
+    }
+
+    /// Whether a node is in the active region.
+    pub fn is_active(&self, node: NodeId) -> bool {
+        self.active[node.0]
+    }
+}
+
+impl RoutingFunction for CdorRouting {
+    fn route(&self, mesh: &Mesh2D, current: NodeId, dst: NodeId) -> Port {
+        assert!(
+            self.active[current.0],
+            "CDOR invoked at dark router {current}"
+        );
+        assert!(
+            self.active[dst.0],
+            "CDOR asked to route to dark destination {dst}"
+        );
+        let c = mesh.coord(current);
+        let d = mesh.coord(dst);
+        if c.x < d.x {
+            if self.ce[current.0] {
+                Port::Dir(Direction::East)
+            } else if c.y < d.y {
+                Port::Dir(Direction::South)
+            } else {
+                // Row convexity forbids (same row, blocked east) for an
+                // active destination further east, so d.y != c.y here.
+                debug_assert!(c.y > d.y, "blocked east with destination in row");
+                Port::Dir(Direction::North)
+            }
+        } else if c.x > d.x {
+            if self.cw[current.0] {
+                Port::Dir(Direction::West)
+            } else if c.y < d.y {
+                Port::Dir(Direction::South)
+            } else {
+                debug_assert!(c.y > d.y, "blocked west with destination in row");
+                Port::Dir(Direction::North)
+            }
+        } else if c.y < d.y {
+            Port::Dir(Direction::South)
+        } else if c.y > d.y {
+            Port::Dir(Direction::North)
+        } else {
+            Port::Local
+        }
+    }
+}
+
+/// A directed channel `(router, output direction)` used in dependency
+/// analysis.
+pub type Channel = (NodeId, Direction);
+
+/// Builds the channel-dependency graph of a routing function restricted to
+/// an active set: an edge `(a → b)` means some route uses channel `a` and
+/// then immediately channel `b`.
+pub fn channel_dependency_graph(
+    mesh: &Mesh2D,
+    routing: &dyn RoutingFunction,
+    active: &[bool],
+) -> Vec<(Channel, Channel)> {
+    let mut deps = std::collections::BTreeSet::new();
+    let nodes: Vec<NodeId> = mesh.nodes().filter(|n| active[n.0]).collect();
+    for &src in &nodes {
+        for &dst in &nodes {
+            if src == dst {
+                continue;
+            }
+            let path = routing.path(mesh, src, dst);
+            for w in path.windows(3) {
+                let d1 = direction_between(mesh, w[0], w[1]);
+                let d2 = direction_between(mesh, w[1], w[2]);
+                deps.insert(((w[0], d1), (w[1], d2)));
+            }
+        }
+    }
+    deps.into_iter().collect()
+}
+
+fn direction_between(mesh: &Mesh2D, a: NodeId, b: NodeId) -> Direction {
+    Direction::ALL
+        .into_iter()
+        .find(|&d| mesh.neighbor(a, d) == Some(b))
+        .expect("consecutive path nodes must be neighbors")
+}
+
+/// Whether the routing function is deadlock-free over the active set: its
+/// channel-dependency graph is acyclic (Dally & Seitz criterion for
+/// deterministic routing).
+pub fn is_deadlock_free(mesh: &Mesh2D, routing: &dyn RoutingFunction, active: &[bool]) -> bool {
+    let deps = channel_dependency_graph(mesh, routing, active);
+    // Kahn's algorithm over the channel nodes.
+    let mut nodes: std::collections::BTreeSet<Channel> = std::collections::BTreeSet::new();
+    for &(a, b) in &deps {
+        nodes.insert(a);
+        nodes.insert(b);
+    }
+    let mut indeg: std::collections::BTreeMap<Channel, usize> =
+        nodes.iter().map(|&c| (c, 0)).collect();
+    for &(_, b) in &deps {
+        *indeg.get_mut(&b).expect("inserted above") += 1;
+    }
+    let mut queue: Vec<Channel> = indeg
+        .iter()
+        .filter(|(_, &d)| d == 0)
+        .map(|(&c, _)| c)
+        .collect();
+    let mut removed = 0;
+    while let Some(c) = queue.pop() {
+        removed += 1;
+        for &(a, b) in &deps {
+            if a == c {
+                let e = indeg.get_mut(&b).expect("inserted above");
+                *e -= 1;
+                if *e == 0 {
+                    queue.push(b);
+                }
+            }
+        }
+    }
+    removed == nodes.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_sim::routing::XyRouting;
+
+    #[test]
+    fn cdor_equals_xy_on_full_mesh() {
+        let mesh = Mesh2D::paper_4x4();
+        let set = SprintSet::paper(16);
+        let cdor = CdorRouting::new(&set);
+        let xy = XyRouting;
+        for s in mesh.nodes() {
+            for d in mesh.nodes() {
+                assert_eq!(cdor.route(&mesh, s, d), xy.route(&mesh, s, d));
+            }
+        }
+    }
+
+    #[test]
+    fn cdor_delivers_within_every_sprint_region() {
+        let mesh = Mesh2D::paper_4x4();
+        for master in 0..16 {
+            for level in 1..=16 {
+                let set = SprintSet::new(mesh, NodeId(master), level);
+                let cdor = CdorRouting::new(&set);
+                for &s in set.active_nodes() {
+                    for &d in set.active_nodes() {
+                        let path = cdor.path(&mesh, s, d);
+                        for n in &path {
+                            assert!(
+                                set.is_active(*n),
+                                "path {path:?} leaves region (master {master}, level {level})"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cdor_paths_are_minimal_in_sprint_regions() {
+        // Within a convex region the detours CDOR takes are still on a
+        // shortest Manhattan path.
+        let mesh = Mesh2D::paper_4x4();
+        for level in 1..=16 {
+            let set = SprintSet::paper(level);
+            let cdor = CdorRouting::new(&set);
+            for &s in set.active_nodes() {
+                for &d in set.active_nodes() {
+                    assert_eq!(
+                        cdor.path_hops(&mesh, s, d),
+                        mesh.hops(s, d),
+                        "non-minimal route {s}->{d} at level {level}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paper_ne_turn_example_at_node_5() {
+        // Fig. 5a: in the 8-core region, routing 9 -> 6 cannot go east at 9
+        // (node 10 is dark); CDOR goes north to 5, then east to 6 — the NE
+        // turn the paper discusses.
+        let mesh = Mesh2D::paper_4x4();
+        let set = SprintSet::paper(8);
+        let cdor = CdorRouting::new(&set);
+        assert!(!cdor.ce(NodeId(9)), "east of node 9 must be dark");
+        let path = cdor.path(&mesh, NodeId(9), NodeId(6));
+        let ids: Vec<usize> = path.iter().map(|n| n.0).collect();
+        assert_eq!(ids, vec![9, 5, 6]);
+    }
+
+    #[test]
+    fn connectivity_bits_reflect_region() {
+        let set = SprintSet::paper(8);
+        let cdor = CdorRouting::new(&set);
+        assert!(cdor.ce(NodeId(0)), "0 -> 1 inside region");
+        assert!(!cdor.cw(NodeId(0)), "0 has no western neighbor");
+        assert!(!cdor.ce(NodeId(2)), "3 is dark in the 8-core region");
+        assert!(cdor.cw(NodeId(9)), "9 -> 8 inside region");
+    }
+
+    #[test]
+    fn cdor_is_deadlock_free_for_all_sprint_levels() {
+        let mesh = Mesh2D::paper_4x4();
+        for master in [0usize, 5, 10, 15] {
+            for level in 1..=16 {
+                let set = SprintSet::new(mesh, NodeId(master), level);
+                let cdor = CdorRouting::new(&set);
+                assert!(
+                    is_deadlock_free(&mesh, &cdor, set.mask()),
+                    "CDG cycle at master {master}, level {level}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn xy_is_deadlock_free_baseline() {
+        let mesh = Mesh2D::paper_4x4();
+        let active = vec![true; 16];
+        assert!(is_deadlock_free(&mesh, &XyRouting, &active));
+    }
+
+    #[test]
+    fn adaptive_west_first_violation_detected() {
+        // Sanity-check the CDG machinery itself: a routing function allowing
+        // all turns (YX for some pairs, XY for others) creates a cycle on a
+        // 2x2 mesh.
+        #[derive(Debug)]
+        struct AllTurns;
+        impl RoutingFunction for AllTurns {
+            fn route(&self, mesh: &Mesh2D, cur: NodeId, dst: NodeId) -> Port {
+                // Route clockwise around the 2x2 ring unless adjacent.
+                let c = mesh.coord(cur);
+                let d = mesh.coord(dst);
+                if cur == dst {
+                    return Port::Local;
+                }
+                // Clockwise next hop: (0,0)->(1,0)->(1,1)->(0,1)->(0,0).
+                let next = match (c.x, c.y) {
+                    (0, 0) => Direction::East,
+                    (1, 0) => Direction::South,
+                    (1, 1) => Direction::West,
+                    _ => Direction::North,
+                };
+                // If destination is the immediate clockwise neighbor this is
+                // minimal; otherwise it still works but uses all four turns.
+                let _ = d;
+                Port::Dir(next)
+            }
+        }
+        let mesh = Mesh2D::new(2, 2).unwrap();
+        let active = vec![true; 4];
+        assert!(!is_deadlock_free(&mesh, &AllTurns, &active));
+    }
+
+    #[test]
+    fn cdor_non_square_regions() {
+        for (w, h) in [(8u16, 2u16), (2, 8), (5, 3)] {
+            let mesh = Mesh2D::new(w, h).unwrap();
+            for level in 1..=mesh.len() {
+                let set = SprintSet::new(mesh, NodeId(0), level);
+                let cdor = CdorRouting::new(&set);
+                for &s in set.active_nodes() {
+                    for &d in set.active_nodes() {
+                        let path = cdor.path(&mesh, s, d);
+                        assert!(path.iter().all(|n| set.is_active(*n)));
+                    }
+                }
+                assert!(is_deadlock_free(&mesh, &cdor, set.mask()));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "convex")]
+    fn non_convex_mask_rejected() {
+        let mesh = Mesh2D::paper_4x4();
+        let mut mask = vec![false; 16];
+        mask[0] = true;
+        mask[2] = true; // gap at 1
+        let _ = CdorRouting::from_mask(&mesh, &mask);
+    }
+
+    #[test]
+    #[should_panic(expected = "dark router")]
+    fn routing_at_dark_router_panics() {
+        let mesh = Mesh2D::paper_4x4();
+        let set = SprintSet::paper(4);
+        let cdor = CdorRouting::new(&set);
+        let _ = cdor.route(&mesh, NodeId(15), NodeId(0));
+    }
+}

@@ -1,0 +1,48 @@
+//! # noc-power — analytical power and area models
+//!
+//! The DSENT/McPAT-class substrate of the [NoC-Sprinting (DAC 2014)]
+//! reproduction:
+//!
+//! - [`tech`] — process nodes and V/f scaling laws,
+//! - [`router`] — per-component router power (buffers, crossbar, allocators,
+//!   clock), driven either analytically (Fig. 2) or by cycle-level activity
+//!   counters from `noc-sim` (Fig. 10),
+//! - [`link`] — repeated-wire link power, length-aware for the thermal
+//!   floorplan's long links,
+//! - [`chip`] — Niagara2-class chip budget reproducing Fig. 3's growing NoC
+//!   share under dark silicon,
+//! - [`gating`] — power-gating wakeup cost and break-even time,
+//! - [`area`] — gate-inventory area model backing the "CDOR < 2% area
+//!   overhead" synthesis claim (Fig. 6).
+//!
+//! [NoC-Sprinting (DAC 2014)]: https://doi.org/10.1145/2593069.2593165
+//!
+//! ## Example: Fig. 2 in four lines
+//!
+//! ```
+//! use noc_power::router::{RouterConfig, RouterPowerModel};
+//! use noc_power::tech::{OperatingPoint, TechNode};
+//!
+//! let model = RouterPowerModel::new(TechNode::nm45(), RouterConfig::fig2());
+//! for op in OperatingPoint::fig2_sweep() {
+//!     let p = model.power_at_injection_rate(&op, 0.4);
+//!     println!("{op}: {:.1} mW, {:.0}% leakage", p.total() * 1e3, p.leakage_fraction() * 100.0);
+//! }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod area;
+pub mod chip;
+pub mod gating;
+pub mod link;
+pub mod router;
+pub mod tech;
+
+pub use area::{AreaConfig, AreaModel, RouterArea};
+pub use chip::{ChipPowerBreakdown, ChipPowerModel, ChipPowerParams, CoreState};
+pub use gating::GatingParams;
+pub use link::LinkPowerModel;
+pub use router::{ComponentPower, RouterConfig, RouterPower, RouterPowerModel};
+pub use tech::{OperatingPoint, TechNode};

@@ -1,0 +1,129 @@
+//! Property-based tests of the power/area model algebra.
+
+use proptest::prelude::*;
+
+use noc_power::area::{AreaConfig, AreaModel};
+use noc_power::chip::{ChipPowerModel, CoreState};
+use noc_power::gating::GatingParams;
+use noc_power::link::LinkPowerModel;
+use noc_power::router::{RouterConfig, RouterPowerModel};
+use noc_power::tech::{OperatingPoint, TechNode};
+
+fn op_strategy() -> impl Strategy<Value = OperatingPoint> {
+    (0.5f64..=1.2, 0.5f64..=3.0).prop_map(|(v, f)| OperatingPoint::new(v, f))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn router_power_is_positive_and_bounded(op in op_strategy(), rate in 0.01f64..1.0) {
+        let m = RouterPowerModel::new(TechNode::nm45(), RouterConfig::paper());
+        let p = m.power_at_injection_rate(&op, rate);
+        prop_assert!(p.total() > 0.0);
+        prop_assert!(p.total() < 1.0, "a single router above 1 W is implausible");
+        prop_assert!((0.0..=1.0).contains(&p.leakage_fraction()));
+    }
+
+    #[test]
+    fn router_dynamic_power_monotone_in_rate(
+        op in op_strategy(),
+        r1 in 0.01f64..0.5,
+        delta in 0.01f64..0.5,
+    ) {
+        let m = RouterPowerModel::new(TechNode::nm45(), RouterConfig::paper());
+        let p1 = m.power_at_injection_rate(&op, r1);
+        let p2 = m.power_at_injection_rate(&op, r1 + delta);
+        prop_assert!(p2.dynamic.total() > p1.dynamic.total());
+        // Leakage is rate-independent.
+        prop_assert!((p1.leakage.total() - p2.leakage.total()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn voltage_scaling_reduces_both_components(rate in 0.05f64..0.5) {
+        let m = RouterPowerModel::new(TechNode::nm45(), RouterConfig::paper());
+        let hi = m.power_at_injection_rate(&OperatingPoint::new(1.0, 2.0), rate);
+        let lo = m.power_at_injection_rate(&OperatingPoint::new(0.8, 1.6), rate);
+        prop_assert!(lo.dynamic.total() < hi.dynamic.total());
+        prop_assert!(lo.leakage.total() < hi.leakage.total());
+        // Dynamic shrinks faster: the Fig. 2 mechanism.
+        prop_assert!(
+            lo.dynamic.total() / hi.dynamic.total() < lo.leakage.total() / hi.leakage.total()
+        );
+    }
+
+    #[test]
+    fn chip_breakdown_is_additive_and_positive(n in 1usize..=64, active in 1usize..=64) {
+        let active = active.min(n);
+        let m = ChipPowerModel::paper();
+        let b = m.sprint_breakdown(n, active, CoreState::Gated, active);
+        prop_assert!(b.cores > 0.0 && b.l2 > 0.0 && b.noc > 0.0 && b.mc > 0.0);
+        prop_assert!((b.total() - (b.cores + b.l2 + b.noc + b.mc + b.other)).abs() < 1e-12);
+        // More active cores can only increase chip power.
+        if active < n {
+            let more = m.sprint_breakdown(n, active + 1, CoreState::Gated, active + 1);
+            prop_assert!(more.total() > b.total());
+        }
+    }
+
+    #[test]
+    fn noc_share_grows_with_core_count(n in 2usize..=64) {
+        let m = ChipPowerModel::paper();
+        let small = m.nominal_breakdown(n).noc_fraction();
+        let big = m.nominal_breakdown(2 * n).noc_fraction();
+        prop_assert!(big > small, "NoC share must grow: {small} -> {big}");
+    }
+
+    #[test]
+    fn gating_net_saving_monotone_in_idle_time(
+        idle in 0u64..5_000_000,
+        extra in 1u64..5_000_000,
+    ) {
+        let g = GatingParams::paper_router();
+        prop_assert!(g.net_energy_saved(idle + extra) > g.net_energy_saved(idle));
+    }
+
+    #[test]
+    fn link_power_scales_linearly_in_length(
+        len in 0.5f64..8.0,
+        rate in 0.01f64..1.0,
+    ) {
+        let op = OperatingPoint::nominal();
+        let one = LinkPowerModel::new(TechNode::nm45(), 128, len);
+        let two = LinkPowerModel::new(TechNode::nm45(), 128, 2.0 * len);
+        let r1 = one.power_at_flit_rate(&op, rate);
+        let r2 = two.power_at_flit_rate(&op, rate);
+        prop_assert!((r2 / r1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn area_overheads_ordered_for_any_router_shape(
+        flit_bits in 32u32..=256,
+        vcs in 1usize..=8,
+        depth in 1usize..=16,
+    ) {
+        let m = AreaModel::new(AreaConfig {
+            flit_bits,
+            vcs_per_port: vcs,
+            buffer_depth: depth,
+            ports: 5,
+            coord_bits: 4,
+        });
+        let dor = m.dor_router().total();
+        let cdor = m.cdor_router().total();
+        let lbdr = m.lbdr_router().total();
+        prop_assert!(dor < cdor && cdor < lbdr);
+        prop_assert!(m.cdor_overhead() < 0.05, "overhead stays small even for tiny routers");
+    }
+
+    #[test]
+    fn tech_nodes_order_leakage(op in op_strategy()) {
+        let rate = 0.2;
+        let p45 = RouterPowerModel::new(TechNode::nm45(), RouterConfig::paper())
+            .power_at_injection_rate(&op, rate);
+        let p32 = RouterPowerModel::new(TechNode::nm32(), RouterConfig::paper())
+            .power_at_injection_rate(&op, rate);
+        // Smaller node: higher leakage *fraction* (dark-silicon driver).
+        prop_assert!(p32.leakage_fraction() > p45.leakage_fraction());
+    }
+}

@@ -1,0 +1,291 @@
+//! Coordinate math for 2D mesh networks.
+//!
+//! The coordinate system follows the paper: the origin `(0, 0)` is the
+//! **top-left** corner of the mesh, `x` grows eastwards and `y` grows
+//! southwards. Node indices are assigned in row-major order, so node `k` of a
+//! `W x H` mesh sits at `(k % W, k / W)`.
+
+use std::fmt;
+
+/// Identifier of a node (router + attached core/NI) in a mesh.
+///
+/// Node ids are dense `0..N` row-major indices; see [`crate::topology::Mesh2D`]
+/// for conversions to and from [`Coord`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub usize);
+
+impl NodeId {
+    /// Returns the raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(value: usize) -> Self {
+        NodeId(value)
+    }
+}
+
+/// A position on the mesh grid, origin at the top-left corner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Coord {
+    /// Column, growing eastwards.
+    pub x: u16,
+    /// Row, growing southwards.
+    pub y: u16,
+}
+
+impl Coord {
+    /// Creates a coordinate from a column/row pair.
+    pub const fn new(x: u16, y: u16) -> Self {
+        Coord { x, y }
+    }
+
+    /// Squared Euclidean distance to `other`.
+    ///
+    /// Algorithm 1 of the paper orders nodes by Euclidean distance to the
+    /// master node; comparing *squared* distances avoids floating point while
+    /// preserving the order.
+    pub fn euclidean_sq(self, other: Coord) -> u32 {
+        let dx = i32::from(self.x) - i32::from(other.x);
+        let dy = i32::from(self.y) - i32::from(other.y);
+        (dx * dx + dy * dy) as u32
+    }
+
+    /// Euclidean distance to `other`.
+    pub fn euclidean(self, other: Coord) -> f64 {
+        f64::from(self.euclidean_sq(other)).sqrt()
+    }
+
+    /// Manhattan (Hamming, in the paper's terminology) distance to `other`.
+    pub fn manhattan(self, other: Coord) -> u32 {
+        let dx = (i32::from(self.x) - i32::from(other.x)).unsigned_abs();
+        let dy = (i32::from(self.y) - i32::from(other.y)).unsigned_abs();
+        dx + dy
+    }
+}
+
+impl fmt::Display for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl From<(u16, u16)> for Coord {
+    fn from((x, y): (u16, u16)) -> Self {
+        Coord::new(x, y)
+    }
+}
+
+/// The four mesh directions.
+///
+/// `North` points towards smaller `y` (up on the floorplan), `South` towards
+/// larger `y`, `West` towards smaller `x` and `East` towards larger `x`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Direction {
+    /// Towards smaller `y`.
+    North,
+    /// Towards larger `y`.
+    South,
+    /// Towards larger `x`.
+    East,
+    /// Towards smaller `x`.
+    West,
+}
+
+impl Direction {
+    /// All four directions, in a fixed deterministic order.
+    pub const ALL: [Direction; 4] = [
+        Direction::North,
+        Direction::South,
+        Direction::East,
+        Direction::West,
+    ];
+
+    /// The direction a flit travels when leaving through this direction's
+    /// opposite port (i.e. where packets *entering* from this side came from).
+    pub fn opposite(self) -> Direction {
+        match self {
+            Direction::North => Direction::South,
+            Direction::South => Direction::North,
+            Direction::East => Direction::West,
+            Direction::West => Direction::East,
+        }
+    }
+
+    /// Unit step of this direction as `(dx, dy)`.
+    pub fn delta(self) -> (i32, i32) {
+        match self {
+            Direction::North => (0, -1),
+            Direction::South => (0, 1),
+            Direction::East => (1, 0),
+            Direction::West => (-1, 0),
+        }
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Direction::North => "N",
+            Direction::South => "S",
+            Direction::East => "E",
+            Direction::West => "W",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A router port: the local core/NI port plus the four mesh directions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Port {
+    /// The network-interface (core-side) port.
+    Local,
+    /// Port facing the given mesh direction.
+    Dir(Direction),
+}
+
+impl Port {
+    /// All five ports in a fixed deterministic order (`Local` first).
+    pub const ALL: [Port; 5] = [
+        Port::Local,
+        Port::Dir(Direction::North),
+        Port::Dir(Direction::South),
+        Port::Dir(Direction::East),
+        Port::Dir(Direction::West),
+    ];
+
+    /// Number of ports on a mesh router.
+    pub const COUNT: usize = 5;
+
+    /// Dense index in `0..Port::COUNT` used for array storage.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            Port::Local => 0,
+            Port::Dir(Direction::North) => 1,
+            Port::Dir(Direction::South) => 2,
+            Port::Dir(Direction::East) => 3,
+            Port::Dir(Direction::West) => 4,
+        }
+    }
+
+    /// Inverse of [`Port::index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= Port::COUNT`.
+    pub fn from_index(idx: usize) -> Port {
+        Port::ALL[idx]
+    }
+
+    /// Returns the mesh direction if this is a directional port.
+    pub fn direction(self) -> Option<Direction> {
+        match self {
+            Port::Local => None,
+            Port::Dir(d) => Some(d),
+        }
+    }
+}
+
+impl fmt::Display for Port {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Port::Local => f.write_str("L"),
+            Port::Dir(d) => write!(f, "{d}"),
+        }
+    }
+}
+
+impl From<Direction> for Port {
+    fn from(d: Direction) -> Self {
+        Port::Dir(d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn euclidean_sq_matches_manual_computation() {
+        let a = Coord::new(0, 0);
+        let b = Coord::new(3, 4);
+        assert_eq!(a.euclidean_sq(b), 25);
+        assert!((a.euclidean(b) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn euclidean_is_symmetric() {
+        let a = Coord::new(1, 7);
+        let b = Coord::new(5, 2);
+        assert_eq!(a.euclidean_sq(b), b.euclidean_sq(a));
+    }
+
+    #[test]
+    fn manhattan_distance() {
+        let a = Coord::new(0, 0);
+        let b = Coord::new(3, 4);
+        assert_eq!(a.manhattan(b), 7);
+        assert_eq!(b.manhattan(a), 7);
+        assert_eq!(a.manhattan(a), 0);
+    }
+
+    #[test]
+    fn paper_tie_example_node2_vs_node5() {
+        // Fig. 5a discussion: from master node 0 at (0,0), node 2 at (2,0) has
+        // Hamming distance 2 (same as node 5 at (1,1)) but a *larger*
+        // Euclidean distance, so Euclidean ordering prefers node 5.
+        let master = Coord::new(0, 0);
+        let node2 = Coord::new(2, 0);
+        let node5 = Coord::new(1, 1);
+        assert_eq!(master.manhattan(node2), master.manhattan(node5));
+        assert!(master.euclidean_sq(node5) < master.euclidean_sq(node2));
+    }
+
+    #[test]
+    fn direction_opposites_are_involutive() {
+        for d in Direction::ALL {
+            assert_eq!(d.opposite().opposite(), d);
+        }
+    }
+
+    #[test]
+    fn direction_deltas_cancel_with_opposite() {
+        for d in Direction::ALL {
+            let (dx, dy) = d.delta();
+            let (ox, oy) = d.opposite().delta();
+            assert_eq!(dx + ox, 0);
+            assert_eq!(dy + oy, 0);
+        }
+    }
+
+    #[test]
+    fn port_index_roundtrips() {
+        for (i, p) in Port::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
+            assert_eq!(Port::from_index(i), *p);
+        }
+    }
+
+    #[test]
+    fn port_display_is_compact() {
+        assert_eq!(Port::Local.to_string(), "L");
+        assert_eq!(Port::Dir(Direction::North).to_string(), "N");
+    }
+
+    #[test]
+    fn node_id_display_and_conversion() {
+        let n: NodeId = 7usize.into();
+        assert_eq!(n.to_string(), "n7");
+        assert_eq!(n.index(), 7);
+    }
+}

@@ -1,0 +1,1262 @@
+//! The network: routers, links, network interfaces and the per-cycle
+//! pipeline orchestration.
+//!
+//! [`Network::step`] advances the whole network by one cycle, running the
+//! pipeline stages in reverse-dataflow order so that a flit never crosses two
+//! stages in a single cycle:
+//!
+//! 1. credit delivery,
+//! 2. link delivery (buffer write + route compute),
+//! 3. NI injection,
+//! 4. VC allocation,
+//! 5. switch allocation + switch/link traversal.
+
+use std::collections::VecDeque;
+
+use crate::error::SimError;
+use crate::geometry::{NodeId, Port};
+use crate::packet::{Flit, Packet};
+use crate::router::{Router, RouterActivity, RouterParams, SleepState};
+use crate::routing::RoutingFunction;
+use crate::topology::Mesh2D;
+use crate::vc::VcState;
+
+/// Power-gating discipline of the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GatingMode {
+    /// Routers are statically on or dark (set by
+    /// [`Network::set_power_mask`]); a flit reaching a dark router is an
+    /// error. This is NoC-sprinting's structural gating.
+    Static,
+    /// Traffic-driven gating (the NoRD / Catnap / router-parking class the
+    /// paper's §2 critiques): a router power-gates itself after
+    /// `idle_threshold` cycles without pipeline activity and pays
+    /// `wakeup_latency` cycles before the next flit can enter.
+    Reactive {
+        /// Idle cycles before a router self-gates.
+        idle_threshold: u64,
+        /// Cycles from the wake trigger until flits are accepted.
+        wakeup_latency: u64,
+    },
+}
+
+/// A flit in transit on a link, addressed to `(node, in_port, vc)`.
+#[derive(Debug, Clone)]
+struct TimedFlit {
+    flit: Flit,
+    vc: usize,
+    arrive: u64,
+}
+
+/// A credit in transit back to a router's output port.
+#[derive(Debug, Clone, Copy)]
+struct TimedCredit {
+    port: usize,
+    vc: usize,
+    arrive: u64,
+}
+
+/// A flit delivered to its destination NI.
+#[derive(Debug, Clone, Copy)]
+pub struct Ejection {
+    /// The delivered flit.
+    pub flit: Flit,
+    /// Cycle at which the flit completed link traversal into the NI.
+    pub at: u64,
+}
+
+/// Network interface: per-vnet source queues plus injection state.
+#[derive(Debug, Clone)]
+struct Ni {
+    /// Packets waiting to enter the network, one FIFO per virtual network
+    /// (message classes must not block each other at the source either).
+    source: Vec<VecDeque<Packet>>,
+    /// Packet currently being injected, with the next flit index and the
+    /// cycle its head flit was written (shared `injected` stamp).
+    injecting: Option<(Packet, u32, u64)>,
+    /// VC chosen for the packet currently being injected.
+    inject_vc: usize,
+    /// Free-slot credits for the router's local input VCs.
+    credits: Vec<u32>,
+    /// In-flight credit returns from the local input port.
+    credit_queue: VecDeque<(u64, usize)>,
+    /// Round-robin pointer for VC choice.
+    vc_rr: usize,
+    /// Round-robin pointer over vnet source queues.
+    vnet_rr: usize,
+}
+
+impl Ni {
+    fn new(params: &RouterParams) -> Self {
+        Ni {
+            source: (0..params.vnets).map(|_| VecDeque::new()).collect(),
+            injecting: None,
+            inject_vc: 0,
+            credits: vec![params.buffer_depth as u32; params.vcs_per_port],
+            credit_queue: VecDeque::new(),
+            vc_rr: 0,
+            vnet_rr: 0,
+        }
+    }
+
+    fn queued(&self) -> usize {
+        self.source.iter().map(|q| q.len()).sum()
+    }
+
+    fn is_idle(&self) -> bool {
+        self.queued() == 0 && self.injecting.is_none()
+    }
+}
+
+/// Summary of one [`Network::step`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StepReport {
+    /// Number of pipeline events (writes, grants, ejections) this cycle;
+    /// zero while packets are in flight indicates no forward progress.
+    pub events: usize,
+    /// Flits delivered to NIs this cycle.
+    pub ejections: usize,
+}
+
+/// A complete mesh network with attached NIs.
+pub struct Network {
+    mesh: Mesh2D,
+    params: RouterParams,
+    routers: Vec<Router>,
+    nis: Vec<Ni>,
+    /// Incoming flit queues per node and input port.
+    link_in: Vec<Vec<VecDeque<TimedFlit>>>,
+    /// Incoming credit queues per node (addressed to output ports).
+    credit_in: Vec<VecDeque<TimedCredit>>,
+    routing: Box<dyn RoutingFunction>,
+    ejected: Vec<Ejection>,
+    gating: GatingMode,
+    /// Per-directed-link latency overrides (cycles for ST+LT), keyed by
+    /// `(from, to)`; links not present use `params.link_delay`. Models the
+    /// long wires a thermal-aware floorplan creates (Fig. 5b) when SMART
+    /// single-cycle repeaters are *not* assumed.
+    link_latency: std::collections::HashMap<(usize, usize), u64>,
+    now: u64,
+}
+
+impl std::fmt::Debug for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Network")
+            .field("mesh", &self.mesh)
+            .field("params", &self.params)
+            .field("now", &self.now)
+            .field("in_flight", &self.in_flight())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Network {
+    /// Builds a fully powered mesh network.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `params` fails validation.
+    pub fn new(
+        mesh: Mesh2D,
+        params: RouterParams,
+        routing: Box<dyn RoutingFunction>,
+    ) -> Result<Self, SimError> {
+        params.validate()?;
+        let routers = mesh
+            .nodes()
+            .map(|n| {
+                let mut connected = [true; Port::COUNT];
+                for port in Port::ALL {
+                    if let Some(dir) = port.direction() {
+                        connected[port.index()] = mesh.neighbor(n, dir).is_some();
+                    }
+                }
+                Router::new(params, connected)
+            })
+            .collect();
+        Ok(Network {
+            mesh,
+            params,
+            routers,
+            nis: (0..mesh.len()).map(|_| Ni::new(&params)).collect(),
+            link_in: (0..mesh.len())
+                .map(|_| (0..Port::COUNT).map(|_| VecDeque::new()).collect())
+                .collect(),
+            credit_in: (0..mesh.len()).map(|_| VecDeque::new()).collect(),
+            routing,
+            ejected: Vec::new(),
+            gating: GatingMode::Static,
+            link_latency: std::collections::HashMap::new(),
+            now: 0,
+        })
+    }
+
+    /// Overrides the traversal latency of the directed link `from -> to`
+    /// (cycles, covering ST+LT; minimum 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the nodes are not mesh neighbors or `cycles == 0`.
+    pub fn set_link_latency(&mut self, from: NodeId, to: NodeId, cycles: u64) {
+        assert!(cycles >= 1, "link latency must be at least one cycle");
+        let adjacent = crate::geometry::Direction::ALL
+            .into_iter()
+            .any(|d| self.mesh.neighbor(from, d) == Some(to));
+        assert!(adjacent, "{from} and {to} are not mesh neighbors");
+        self.link_latency.insert((from.0, to.0), cycles);
+    }
+
+    /// The traversal latency of the directed link `from -> to`.
+    pub fn link_latency(&self, from: NodeId, to: NodeId) -> u64 {
+        *self
+            .link_latency
+            .get(&(from.0, to.0))
+            .unwrap_or(&self.params.link_delay)
+    }
+
+    /// Switches the gating discipline (default: [`GatingMode::Static`]).
+    pub fn set_gating_mode(&mut self, mode: GatingMode) {
+        self.gating = mode;
+    }
+
+    /// The active gating discipline.
+    pub fn gating_mode(&self) -> GatingMode {
+        self.gating
+    }
+
+    /// Per-router `(sleep_cycles, wakeups)` under reactive gating.
+    pub fn sleep_stats(&self) -> Vec<(u64, u64)> {
+        self.routers
+            .iter()
+            .map(|r| (r.sleep_cycles, r.wakeups))
+            .collect()
+    }
+
+    /// The mesh this network is built on.
+    pub fn mesh(&self) -> &Mesh2D {
+        &self.mesh
+    }
+
+    /// Router parameters.
+    pub fn params(&self) -> &RouterParams {
+        &self.params
+    }
+
+    /// Current cycle.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Read access to a router (stats, tests).
+    pub fn router(&self, node: NodeId) -> &Router {
+        &self.routers[node.0]
+    }
+
+    /// Powers routers on/off. `active[i]` corresponds to node `i`.
+    ///
+    /// Power-gating is an *error-checked contract*: if a flit is ever
+    /// delivered to a dark router, [`Network::step`] fails with
+    /// [`SimError::DarkRouterEntered`], which is how the test suite proves
+    /// CDOR never uses dark resources.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `active.len()` differs from the node count.
+    pub fn set_power_mask(&mut self, active: &[bool]) {
+        assert_eq!(active.len(), self.mesh.len(), "mask length mismatch");
+        for (r, &on) in self.routers.iter_mut().zip(active) {
+            r.powered_on = on;
+        }
+    }
+
+    /// Number of powered-on routers.
+    pub fn powered_on_count(&self) -> usize {
+        self.routers.iter().filter(|r| r.powered_on).count()
+    }
+
+    /// Enables or disables activity counting on every router (used to limit
+    /// power accounting to the measurement window).
+    pub fn set_counting(&mut self, on: bool) {
+        for r in &mut self.routers {
+            r.counting = on;
+        }
+    }
+
+    /// Aggregate activity over all routers.
+    pub fn activity(&self) -> RouterActivity {
+        self.routers
+            .iter()
+            .fold(RouterActivity::default(), |acc, r| acc.merge(&r.activity))
+    }
+
+    /// Per-router activity snapshot.
+    pub fn activity_per_router(&self) -> Vec<RouterActivity> {
+        self.routers.iter().map(|r| r.activity).collect()
+    }
+
+    /// Queues a packet at its source NI.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source node is dark (traffic generators must only drive
+    /// powered-on nodes) or out of range.
+    pub fn enqueue_packet(&mut self, p: Packet) {
+        assert!(p.src.0 < self.mesh.len(), "packet source out of range");
+        assert!(p.dst.0 < self.mesh.len(), "packet destination out of range");
+        assert!(
+            self.routers[p.src.0].powered_on,
+            "cannot inject at dark node {}",
+            p.src
+        );
+        assert!(
+            usize::from(p.vnet) < self.params.vnets,
+            "packet vnet {} out of {} vnets",
+            p.vnet,
+            self.params.vnets
+        );
+        let vnet = usize::from(p.vnet);
+        self.nis[p.src.0].source[vnet].push_back(p);
+    }
+
+    /// Flits delivered to NIs since the last call.
+    pub fn drain_ejections(&mut self) -> Vec<Ejection> {
+        std::mem::take(&mut self.ejected)
+    }
+
+    /// Flits currently inside the network (buffers + links), plus packets
+    /// mid-injection; excludes packets still whole in source queues.
+    pub fn in_flight(&self) -> usize {
+        let buffered: usize = self.routers.iter().map(|r| r.buffered_flits()).sum();
+        let on_links: usize = self
+            .link_in
+            .iter()
+            .flat_map(|ports| ports.iter())
+            .map(|q| q.len())
+            .sum();
+        buffered + on_links
+    }
+
+    /// Packets still waiting in source queues.
+    pub fn queued_packets(&self) -> usize {
+        self.nis.iter().map(Ni::queued).sum()
+    }
+
+    /// Whether the network and all source queues are completely empty.
+    pub fn is_drained(&self) -> bool {
+        self.in_flight() == 0 && self.nis.iter().all(Ni::is_idle)
+    }
+
+    /// Advances the network by one cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::DarkRouterEntered`] if a flit reaches a
+    /// power-gated router, which indicates a routing-function bug.
+    pub fn step(&mut self) -> Result<StepReport, SimError> {
+        let now = self.now;
+        let mut events = 0usize;
+
+        // Stage -1: reactive sleep/wake transitions.
+        self.update_sleep_states(now);
+
+        // Stage 0: deliver credits.
+        events += self.deliver_credits(now);
+
+        // Stage 1: deliver link flits (BW + RC).
+        events += self.deliver_flits(now)?;
+
+        // Stage 2: NI injection (BW + RC at the local port).
+        events += self.inject(now);
+
+        // Stage 3: VC allocation.
+        events += self.vc_allocate(now);
+
+        // Stage 4: switch allocation + traversal.
+        let ejections = {
+            let (granted, ejections) = self.switch_allocate(now);
+            events += granted;
+            ejections
+        };
+
+        self.now += 1;
+        Ok(StepReport { events, ejections })
+    }
+
+    /// Reactive-gating bookkeeping: complete wakeups, put idle routers to
+    /// sleep, and account asleep cycles.
+    fn update_sleep_states(&mut self, now: u64) {
+        let GatingMode::Reactive { idle_threshold, .. } = self.gating else {
+            return;
+        };
+        for r in &mut self.routers {
+            if !r.powered_on {
+                continue;
+            }
+            match r.sleep {
+                SleepState::Waking { ready_at } if ready_at <= now => {
+                    r.sleep = SleepState::On;
+                    r.last_activity = now;
+                }
+                SleepState::On
+                    if !r.holds_state() && now.saturating_sub(r.last_activity) >= idle_threshold =>
+                {
+                    r.sleep = SleepState::Asleep;
+                }
+                _ => {}
+            }
+            if r.sleep == SleepState::Asleep && r.counting {
+                r.sleep_cycles += 1;
+            }
+        }
+    }
+
+    /// Triggers a wake on a sleeping router; returns whether the router can
+    /// accept flits *this* cycle.
+    fn ensure_awake(&mut self, node: usize, now: u64) -> bool {
+        match self.gating {
+            GatingMode::Static => true,
+            GatingMode::Reactive { wakeup_latency, .. } => {
+                let r = &mut self.routers[node];
+                match r.sleep {
+                    SleepState::On => true,
+                    SleepState::Asleep => {
+                        r.sleep = SleepState::Waking {
+                            ready_at: now + wakeup_latency,
+                        };
+                        if r.counting {
+                            r.wakeups += 1;
+                        }
+                        false
+                    }
+                    SleepState::Waking { .. } => false,
+                }
+            }
+        }
+    }
+
+    fn deliver_credits(&mut self, now: u64) -> usize {
+        let mut events = 0;
+        for node in 0..self.mesh.len() {
+            while let Some(c) = self.credit_in[node].front() {
+                if c.arrive > now {
+                    break;
+                }
+                let c = self.credit_in[node].pop_front().expect("checked front");
+                self.routers[node].outputs[c.port].credits[c.vc] += 1;
+                debug_assert!(
+                    self.routers[node].outputs[c.port].credits[c.vc]
+                        <= self.params.buffer_depth as u32,
+                    "credit overflow at node {node} port {} vc {}",
+                    c.port,
+                    c.vc
+                );
+                events += 1;
+            }
+            let ni = &mut self.nis[node];
+            while let Some(&(arrive, vc)) = ni.credit_queue.front() {
+                if arrive > now {
+                    break;
+                }
+                ni.credit_queue.pop_front();
+                ni.credits[vc] += 1;
+                debug_assert!(ni.credits[vc] <= self.params.buffer_depth as u32);
+                events += 1;
+            }
+        }
+        events
+    }
+
+    fn deliver_flits(&mut self, now: u64) -> Result<usize, SimError> {
+        let mut events = 0;
+        for node in 0..self.mesh.len() {
+            for port_idx in 0..Port::COUNT {
+                while let Some(tf) = self.link_in[node][port_idx].front() {
+                    if tf.arrive > now {
+                        break;
+                    }
+                    if !self.routers[node].powered_on {
+                        return Err(SimError::DarkRouterEntered {
+                            node: NodeId(node),
+                            cycle: now,
+                        });
+                    }
+                    // Under reactive gating, an arriving flit at a sleeping
+                    // router triggers the wake and waits out the latency.
+                    if !self.ensure_awake(node, now) {
+                        break;
+                    }
+                    let tf = self.link_in[node][port_idx]
+                        .pop_front()
+                        .expect("checked front");
+                    self.buffer_write(node, Port::from_index(port_idx), tf.vc, tf.flit, now);
+                    events += 1;
+                }
+            }
+        }
+        Ok(events)
+    }
+
+    /// BW stage: writes a flit into an input VC; runs RC if it exposes a new
+    /// packet head at the buffer front.
+    fn buffer_write(&mut self, node: usize, port: Port, vc: usize, mut flit: Flit, now: u64) {
+        debug_assert_eq!(
+            self.params.vc_vnet(vc),
+            flit.vnet,
+            "flit on vnet {} written into VC {vc} of another partition",
+            flit.vnet
+        );
+        flit.arrived = now;
+        let router = &mut self.routers[node];
+        router.last_activity = now;
+        let channel = router.input_mut(port, vc);
+        debug_assert!(
+            channel.occupancy() < self.params.buffer_depth,
+            "buffer overflow at node {node} {port} vc {vc}: credit protocol violated"
+        );
+        let was_empty = channel.occupancy() == 0;
+        let is_head = flit.kind.is_head();
+        channel.buffer.push_back(flit);
+        if was_empty && is_head && channel.state == VcState::Idle {
+            let out_port = self.routing.route(&self.mesh, NodeId(node), flit.dst);
+            let router = &mut self.routers[node];
+            debug_assert!(
+                router.outputs[out_port.index()].connected,
+                "routing chose unconnected port {out_port} at node {node}"
+            );
+            router.input_mut(port, vc).state = VcState::RouteComputed { out_port };
+        }
+        if router_counting(&self.routers[node]) {
+            self.routers[node].activity.buffer_writes += 1;
+        }
+    }
+
+    fn inject(&mut self, now: u64) -> usize {
+        let mut events = 0;
+        for node in 0..self.mesh.len() {
+            // A sleeping router must wake before its NI can inject.
+            if !self.nis[node].is_idle() && !self.ensure_awake(node, now) {
+                continue;
+            }
+            // Continue an in-progress packet first: wormhole injection never
+            // interleaves two packets on the local port.
+            let ni = &mut self.nis[node];
+            if ni.injecting.is_none() {
+                // Pick the next packet round-robin over vnet queues, then a
+                // free VC within that packet's vnet partition.
+                let vnets = ni.source.len();
+                'pick: for k in 0..vnets {
+                    let vq = (ni.vnet_rr + k) % vnets;
+                    let Some(pkt) = ni.source[vq].front().copied() else {
+                        continue;
+                    };
+                    let range = self.params.vnet_vcs(pkt.vnet);
+                    let width = range.len();
+                    for j in 0..width {
+                        let v = range.start + (ni.vc_rr + j) % width;
+                        if ni.credits[v] > 0 {
+                            ni.vc_rr = (v - range.start + 1) % width;
+                            ni.vnet_rr = (vq + 1) % vnets;
+                            ni.inject_vc = v;
+                            ni.injecting = Some((pkt, 0, now));
+                            ni.source[vq].pop_front();
+                            break 'pick;
+                        }
+                    }
+                }
+            }
+            let ni = &mut self.nis[node];
+            if let Some((pkt, seq, head_cycle)) = ni.injecting {
+                let v = ni.inject_vc;
+                if ni.credits[v] > 0 {
+                    ni.credits[v] -= 1;
+                    let flit = pkt.flit(seq, head_cycle);
+                    let done = seq + 1 == pkt.len;
+                    self.nis[node].injecting = if done { None } else { Some((pkt, seq + 1, head_cycle)) };
+                    self.buffer_write(node, Port::Local, v, flit, now);
+                    events += 1;
+                }
+            }
+        }
+        events
+    }
+
+    fn vc_allocate(&mut self, now: u64) -> usize {
+        let mut grants = 0;
+        let vcs = self.params.vcs_per_port;
+        let id_space = Port::COUNT * vcs;
+        for node in 0..self.mesh.len() {
+            if !self.routers[node].is_operational() {
+                continue;
+            }
+            // Gather requests: (priority id, in_port, in_vc, out_port).
+            let mut requests: Vec<(usize, usize, usize, usize)> = Vec::new();
+            {
+                let router = &self.routers[node];
+                for in_port in 0..Port::COUNT {
+                    for in_vc in 0..vcs {
+                        let ch = &router.inputs[in_port][in_vc];
+                        if let VcState::RouteComputed { out_port } = ch.state {
+                            if let Some(head) = ch.head() {
+                                debug_assert!(head.kind.is_head());
+                                if head.arrived + self.params.va_delay <= now {
+                                    requests.push((
+                                        in_port * vcs + in_vc,
+                                        in_port,
+                                        in_vc,
+                                        out_port.index(),
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            if requests.is_empty() {
+                continue;
+            }
+            for out_idx in 0..Port::COUNT {
+                let ptr = self.routers[node].va_rr[out_idx];
+                let mut reqs: Vec<&(usize, usize, usize, usize)> = requests
+                    .iter()
+                    .filter(|(_, _, _, o)| *o == out_idx)
+                    .collect();
+                if reqs.is_empty() {
+                    continue;
+                }
+                // Rotating priority: order by distance from the pointer.
+                reqs.sort_by_key(|(id, _, _, _)| (id + id_space - ptr) % id_space);
+                let mut last_granted_id = None;
+                for &&(id, in_port, in_vc, _) in reqs.iter() {
+                    // Grant a free output VC from the packet's own vnet
+                    // partition — vnets never share VCs, which is what
+                    // breaks request/response protocol-deadlock cycles.
+                    let vnet = self.routers[node].inputs[in_port][in_vc]
+                        .head()
+                        .expect("VA requester has a buffered head flit")
+                        .vnet;
+                    let range = self.params.vnet_vcs(vnet);
+                    let out_vc = {
+                        let out = &self.routers[node].outputs[out_idx];
+                        range.clone().find(|&v| out.alloc[v].is_none())
+                    };
+                    let Some(out_vc) = out_vc else { continue };
+                    let router = &mut self.routers[node];
+                    router.outputs[out_idx].alloc[out_vc] =
+                        Some((Port::from_index(in_port), in_vc));
+                    router.inputs[in_port][in_vc].state = VcState::Active {
+                        out_port: Port::from_index(out_idx),
+                        out_vc,
+                    };
+                    if router.counting {
+                        router.activity.vc_allocations += 1;
+                    }
+                    last_granted_id = Some(id);
+                    grants += 1;
+                }
+                if let Some(id) = last_granted_id {
+                    self.routers[node].va_rr[out_idx] = (id + 1) % id_space;
+                }
+            }
+        }
+        grants
+    }
+
+    fn switch_allocate(&mut self, now: u64) -> (usize, usize) {
+        let mut grants = 0;
+        let mut ejections = 0;
+        let vcs = self.params.vcs_per_port;
+        for node in 0..self.mesh.len() {
+            if !self.routers[node].is_operational() {
+                continue;
+            }
+            // SA stage 1: one candidate VC per input port.
+            let mut stage1: Vec<(usize, usize, Port, usize)> = Vec::new(); // (in_port, in_vc, out_port, out_vc)
+            {
+                let router = &self.routers[node];
+                for in_port in 0..Port::COUNT {
+                    let ptr = router.sa_in_rr[in_port];
+                    let mut best: Option<(usize, usize, Port, usize)> = None;
+                    let mut best_rank = usize::MAX;
+                    for in_vc in 0..vcs {
+                        let ch = &router.inputs[in_port][in_vc];
+                        let VcState::Active { out_port, out_vc } = ch.state else {
+                            continue;
+                        };
+                        let Some(head) = ch.head() else { continue };
+                        if head.arrived + self.params.sa_delay > now {
+                            continue;
+                        }
+                        // Ejection has an ideal sink: no credit check.
+                        if out_port != Port::Local
+                            && router.outputs[out_port.index()].credits[out_vc] == 0
+                        {
+                            continue;
+                        }
+                        let rank = (in_vc + vcs - ptr) % vcs;
+                        if rank < best_rank {
+                            best_rank = rank;
+                            best = Some((in_port, in_vc, out_port, out_vc));
+                        }
+                    }
+                    if let Some(c) = best {
+                        stage1.push(c);
+                    }
+                }
+            }
+            // SA stage 2: one winner per output port.
+            for out_idx in 0..Port::COUNT {
+                let ptr = self.routers[node].sa_out_rr[out_idx];
+                let mut winner: Option<(usize, usize, Port, usize)> = None;
+                let mut best_rank = usize::MAX;
+                for &(in_port, in_vc, out_port, out_vc) in &stage1 {
+                    if out_port.index() != out_idx {
+                        continue;
+                    }
+                    let rank = (in_port + Port::COUNT - ptr) % Port::COUNT;
+                    if rank < best_rank {
+                        best_rank = rank;
+                        winner = Some((in_port, in_vc, out_port, out_vc));
+                    }
+                }
+                let Some((in_port, in_vc, out_port, out_vc)) = winner else {
+                    continue;
+                };
+                self.routers[node].sa_in_rr[in_port] = (in_vc + 1) % vcs;
+                self.routers[node].sa_out_rr[out_idx] = (in_port + 1) % Port::COUNT;
+                let ejected = self.traverse(node, in_port, in_vc, out_port, out_vc, now);
+                grants += 1;
+                if ejected {
+                    ejections += 1;
+                }
+            }
+        }
+        (grants, ejections)
+    }
+
+    /// ST + LT for one granted flit; returns whether it was an ejection.
+    fn traverse(
+        &mut self,
+        node: usize,
+        in_port: usize,
+        in_vc: usize,
+        out_port: Port,
+        out_vc: usize,
+        now: u64,
+    ) -> bool {
+        let flit = {
+            let router = &mut self.routers[node];
+            router.last_activity = now;
+            let ch = &mut router.inputs[in_port][in_vc];
+            let flit = ch.buffer.pop_front().expect("SA granted an empty VC");
+            if router.counting {
+                router.activity.buffer_reads += 1;
+                router.activity.crossbar_traversals += 1;
+                router.activity.switch_allocations += 1;
+                if out_port != Port::Local {
+                    router.activity.link_flits += 1;
+                }
+            }
+            flit
+        };
+
+        // Credit return for the freed input slot.
+        let in_port_t = Port::from_index(in_port);
+        match in_port_t {
+            Port::Local => {
+                self.nis[node]
+                    .credit_queue
+                    .push_back((now + self.params.credit_delay, in_vc));
+            }
+            Port::Dir(d) => {
+                let upstream = self
+                    .mesh
+                    .neighbor(NodeId(node), d)
+                    .expect("flit entered through an edge port");
+                let up_out_port = Port::Dir(d.opposite()).index();
+                self.credit_in[upstream.0].push_back(TimedCredit {
+                    port: up_out_port,
+                    vc: in_vc,
+                    arrive: now + self.params.credit_delay,
+                });
+            }
+        }
+
+        // Downstream delivery.
+        let is_tail = flit.kind.is_tail();
+        let ejected = match out_port {
+            Port::Local => {
+                self.ejected.push(Ejection {
+                    flit,
+                    at: now + self.params.link_delay,
+                });
+                true
+            }
+            Port::Dir(d) => {
+                // Consume a downstream credit.
+                let router = &mut self.routers[node];
+                let credits = &mut router.outputs[out_port.index()].credits[out_vc];
+                debug_assert!(*credits > 0, "SA granted without credit");
+                *credits -= 1;
+                let next = self
+                    .mesh
+                    .neighbor(NodeId(node), d)
+                    .expect("routing sent flit off the mesh");
+                let next_in_port = Port::Dir(d.opposite()).index();
+                let latency = self.link_latency(NodeId(node), next);
+                self.link_in[next.0][next_in_port].push_back(TimedFlit {
+                    flit,
+                    vc: out_vc,
+                    arrive: now + latency,
+                });
+                false
+            }
+        };
+
+        if is_tail {
+            // Release the output VC and recycle the input VC.
+            let router = &mut self.routers[node];
+            router.outputs[out_port.index()].alloc[out_vc] = None;
+            let route_next = {
+                let ch = router.input_mut(in_port_t, in_vc);
+                match ch.head() {
+                    None => {
+                        ch.state = VcState::Idle;
+                        None
+                    }
+                    Some(next_head) => {
+                        assert!(
+                            next_head.kind.is_head(),
+                            "non-head flit {next_head:?} follows a tail in the same VC"
+                        );
+                        Some(next_head.dst)
+                    }
+                }
+            };
+            if let Some(dst) = route_next {
+                let new_out = self.routing.route(&self.mesh, NodeId(node), dst);
+                self.routers[node].input_mut(in_port_t, in_vc).state =
+                    VcState::RouteComputed { out_port: new_out };
+            }
+        }
+        ejected
+    }
+}
+
+#[inline]
+fn router_counting(r: &Router) -> bool {
+    r.counting
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{FlitKind, PacketId};
+    use crate::routing::XyRouting;
+
+    fn net() -> Network {
+        Network::new(
+            Mesh2D::paper_4x4(),
+            RouterParams::paper(),
+            Box::new(XyRouting),
+        )
+        .unwrap()
+    }
+
+    fn packet(id: u64, src: usize, dst: usize, len: u32, created: u64) -> Packet {
+        Packet {
+            id: PacketId(id),
+            src: NodeId(src),
+            dst: NodeId(dst),
+            len,
+            created,
+            measured: true,
+            vnet: 0,
+        }
+    }
+
+    fn run_until_drained(net: &mut Network, max_cycles: u64) -> Vec<Ejection> {
+        let mut ejections = Vec::new();
+        for _ in 0..max_cycles {
+            net.step().unwrap();
+            ejections.extend(net.drain_ejections());
+            if net.is_drained() {
+                break;
+            }
+        }
+        assert!(net.is_drained(), "network failed to drain");
+        ejections
+    }
+
+    #[test]
+    fn single_packet_is_delivered_intact() {
+        let mut net = net();
+        net.enqueue_packet(packet(1, 0, 15, 5, 0));
+        let ej = run_until_drained(&mut net, 500);
+        assert_eq!(ej.len(), 5, "all 5 flits delivered");
+        assert!(ej.iter().all(|e| e.flit.dst == NodeId(15)));
+        let kinds: Vec<FlitKind> = ej.iter().map(|e| e.flit.kind).collect();
+        assert_eq!(kinds[0], FlitKind::Head);
+        assert_eq!(kinds[4], FlitKind::Tail);
+        // Flits of one packet arrive in order.
+        let seqs: Vec<u32> = ej.iter().map(|e| e.flit.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_load_latency_matches_pipeline_model() {
+        // Head flit: inject at cycle 0 (BW), per-hop = sa_delay + link_delay,
+        // plus ejection link. For 6 hops src->dst and 1 ejection hop:
+        // head latency = (hops + 1) * (sa_delay + link_delay).
+        let mut net = net();
+        net.enqueue_packet(packet(1, 0, 15, 1, 0));
+        let ej = run_until_drained(&mut net, 500);
+        assert_eq!(ej.len(), 1);
+        let hops = 6;
+        let per_hop = 3 + 2; // sa_delay + link_delay
+        let expected = (hops + 1) * per_hop;
+        assert_eq!(ej[0].at, expected as u64);
+    }
+
+    #[test]
+    fn self_addressed_packet_is_delivered_locally() {
+        let mut net = net();
+        net.enqueue_packet(packet(1, 5, 5, 5, 0));
+        let ej = run_until_drained(&mut net, 200);
+        assert_eq!(ej.len(), 5);
+        assert!(ej.iter().all(|e| e.flit.src == NodeId(5) && e.flit.dst == NodeId(5)));
+    }
+
+    #[test]
+    fn many_packets_all_delivered_no_loss_no_dup() {
+        let mut net = net();
+        let mut expected = 0u64;
+        let mut id = 0;
+        for src in 0..16 {
+            for dst in 0..16 {
+                net.enqueue_packet(packet(id, src, dst, 5, 0));
+                id += 1;
+                expected += 5;
+            }
+        }
+        let ej = run_until_drained(&mut net, 20_000);
+        assert_eq!(ej.len() as u64, expected);
+        // No duplicated (packet, seq) pairs.
+        let mut seen = std::collections::HashSet::new();
+        for e in &ej {
+            assert!(seen.insert((e.flit.packet, e.flit.seq)), "duplicate flit");
+        }
+    }
+
+    #[test]
+    fn dark_router_entry_is_reported() {
+        let mut net = net();
+        // Gate node 1, which is on the XY path 0 -> 3.
+        let mut mask = vec![true; 16];
+        mask[1] = false;
+        net.set_power_mask(&mask);
+        net.enqueue_packet(packet(1, 0, 3, 1, 0));
+        let mut saw_err = false;
+        for _ in 0..100 {
+            match net.step() {
+                Err(SimError::DarkRouterEntered { node, .. }) => {
+                    assert_eq!(node, NodeId(1));
+                    saw_err = true;
+                    break;
+                }
+                Ok(_) => {}
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(saw_err, "dark-router violation not detected");
+    }
+
+    #[test]
+    fn injection_at_dark_node_panics() {
+        let mut net = net();
+        let mut mask = vec![true; 16];
+        mask[7] = false;
+        net.set_power_mask(&mask);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            net.enqueue_packet(packet(1, 7, 0, 1, 0));
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn credits_are_conserved() {
+        // After draining, every output port must be back to full credits.
+        let mut net = net();
+        for i in 0..40 {
+            net.enqueue_packet(packet(i, (i % 16) as usize, ((i * 7) % 16) as usize, 5, 0));
+        }
+        run_until_drained(&mut net, 20_000);
+        // Let residual credits in flight land.
+        for _ in 0..10 {
+            net.step().unwrap();
+        }
+        for n in net.mesh().nodes() {
+            let r = net.router(n);
+            for (p, out) in r.outputs.iter().enumerate() {
+                for (v, &c) in out.credits.iter().enumerate() {
+                    assert_eq!(
+                        c, 4,
+                        "node {n} port {p} vc {v} did not return to full credits"
+                    );
+                }
+                assert!(out.alloc.iter().all(|a| a.is_none()));
+            }
+        }
+    }
+
+    #[test]
+    fn activity_counts_only_when_enabled() {
+        let mut net = net();
+        net.enqueue_packet(packet(1, 0, 3, 5, 0));
+        run_until_drained(&mut net, 500);
+        assert_eq!(net.activity().buffer_writes, 0, "counting disabled");
+
+        net.set_counting(true);
+        net.enqueue_packet(packet(2, 0, 3, 5, 0));
+        run_until_drained(&mut net, 500);
+        let act = net.activity();
+        // 5 flits x 4 routers on path (0,1,2,3) buffer writes.
+        assert_eq!(act.buffer_writes, 20);
+        assert_eq!(act.buffer_reads, 20);
+        assert_eq!(act.crossbar_traversals, 20);
+        // 3 link hops x 5 flits (ejection not counted as link).
+        assert_eq!(act.link_flits, 15);
+        // One VC allocation per router on the path.
+        assert_eq!(act.vc_allocations, 4);
+    }
+
+    #[test]
+    fn wormhole_blocks_do_not_interleave_packets_per_vc() {
+        // Saturate one destination from many sources; afterwards verify
+        // per-packet flit order at ejection was strictly sequential.
+        let mut net = net();
+        for i in 0..30 {
+            net.enqueue_packet(packet(i, (i % 15) as usize, 15, 5, 0));
+        }
+        let ej = run_until_drained(&mut net, 30_000);
+        let mut next_seq: std::collections::HashMap<PacketId, u32> = Default::default();
+        for e in &ej {
+            let want = next_seq.entry(e.flit.packet).or_insert(0);
+            assert_eq!(e.flit.seq, *want, "packet {:?} out of order", e.flit.packet);
+            *want += 1;
+        }
+        for (_, n) in next_seq {
+            assert_eq!(n, 5);
+        }
+    }
+
+    fn packet_on_vnet(id: u64, src: usize, dst: usize, len: u32, vnet: u8) -> Packet {
+        Packet {
+            vnet,
+            ..packet(id, src, dst, len, 0)
+        }
+    }
+
+    #[test]
+    fn two_vnet_traffic_is_delivered_and_partitioned() {
+        let mut net = Network::new(
+            Mesh2D::paper_4x4(),
+            RouterParams::paper_two_vnets(),
+            Box::new(XyRouting),
+        )
+        .unwrap();
+        for i in 0..40 {
+            let vnet = (i % 2) as u8;
+            net.enqueue_packet(packet_on_vnet(i, (i % 16) as usize, ((i * 3) % 16) as usize, 5, vnet));
+        }
+        // Debug asserts inside buffer_write enforce the partitioning.
+        let ej = run_until_drained(&mut net, 50_000);
+        assert_eq!(ej.len(), 40 * 5);
+        assert!(ej.iter().any(|e| e.flit.vnet == 0));
+        assert!(ej.iter().any(|e| e.flit.vnet == 1));
+    }
+
+    #[test]
+    fn vnet_out_of_range_is_rejected() {
+        let mut net = net(); // single-vnet config
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            net.enqueue_packet(packet_on_vnet(1, 0, 1, 1, 1));
+        }));
+        assert!(result.is_err(), "vnet 1 must be rejected on a 1-vnet network");
+    }
+
+    #[test]
+    fn vnets_do_not_starve_each_other() {
+        // Saturate vnet 0 with a heavy stream; a single vnet-1 packet must
+        // still get through promptly (its VC partition is private).
+        let mut net = Network::new(
+            Mesh2D::paper_4x4(),
+            RouterParams::paper_two_vnets(),
+            Box::new(XyRouting),
+        )
+        .unwrap();
+        for i in 0..100 {
+            net.enqueue_packet(packet_on_vnet(i, 0, 3, 5, 0));
+        }
+        net.enqueue_packet(packet_on_vnet(1000, 0, 3, 1, 1));
+        let mut vnet1_at = None;
+        for _ in 0..20_000 {
+            net.step().unwrap();
+            for e in net.drain_ejections() {
+                if e.flit.vnet == 1 && vnet1_at.is_none() {
+                    vnet1_at = Some(e.at);
+                }
+            }
+            if net.is_drained() {
+                break;
+            }
+        }
+        let at = vnet1_at.expect("vnet-1 packet delivered");
+        // It must not wait for the entire vnet-0 stream (500 flits at
+        // 1/cycle would be ~500+ cycles).
+        assert!(at < 400, "vnet-1 packet delayed to {at}");
+    }
+
+    #[test]
+    fn reactive_gating_puts_idle_routers_to_sleep() {
+        let mut net = net();
+        net.set_gating_mode(GatingMode::Reactive {
+            idle_threshold: 50,
+            wakeup_latency: 10,
+        });
+        net.set_counting(true);
+        // No traffic at all: every router should sleep after the threshold.
+        for _ in 0..200 {
+            net.step().unwrap();
+        }
+        let stats = net.sleep_stats();
+        for (i, &(sleep, wake)) in stats.iter().enumerate() {
+            assert!(sleep >= 140, "router {i} slept only {sleep} cycles");
+            assert_eq!(wake, 0, "router {i} woke without traffic");
+        }
+    }
+
+    #[test]
+    fn reactive_wakeup_delays_delivery() {
+        // Same single packet, with and without reactive gating on a cold
+        // network: the gated run pays wakeup latency at every hop.
+        let deliver = |reactive: bool| -> u64 {
+            let mut net = net();
+            if reactive {
+                net.set_gating_mode(GatingMode::Reactive {
+                    idle_threshold: 1, // sleep almost immediately
+                    wakeup_latency: 8,
+                });
+                // Let everything fall asleep.
+                for _ in 0..20 {
+                    net.step().unwrap();
+                }
+            }
+            net.enqueue_packet(packet(1, 0, 3, 1, net.now()));
+            let mut last = 0;
+            for _ in 0..2000 {
+                net.step().unwrap();
+                let ej = net.drain_ejections();
+                if let Some(e) = ej.last() {
+                    last = e.at - e.flit.created;
+                    break;
+                }
+                if net.is_drained() {
+                    break;
+                }
+            }
+            assert!(last > 0, "packet not delivered");
+            last
+        };
+        let cold = deliver(true);
+        let warm = deliver(false);
+        assert!(
+            cold >= warm + 8,
+            "reactive run {cold} must pay at least one wakeup over {warm}"
+        );
+    }
+
+    #[test]
+    fn reactive_gating_still_delivers_everything() {
+        let mut net = net();
+        net.set_gating_mode(GatingMode::Reactive {
+            idle_threshold: 20,
+            wakeup_latency: 10,
+        });
+        for i in 0..30 {
+            net.enqueue_packet(packet(i, (i % 16) as usize, ((i * 5) % 16) as usize, 5, 0));
+        }
+        let ej = run_until_drained(&mut net, 30_000);
+        assert_eq!(ej.len(), 30 * 5);
+    }
+
+    #[test]
+    fn busy_routers_do_not_sleep() {
+        let mut net = net();
+        net.set_gating_mode(GatingMode::Reactive {
+            idle_threshold: 5,
+            wakeup_latency: 50,
+        });
+        net.set_counting(true);
+        // Saturating stream through node 1 keeps the path awake.
+        for i in 0..200 {
+            net.enqueue_packet(packet(i, 0, 3, 5, 0));
+        }
+        let ej = run_until_drained(&mut net, 100_000);
+        assert_eq!(ej.len(), 1000);
+        // Path routers (0..3) should have negligible sleep compared to far
+        // corner routers.
+        let stats = net.sleep_stats();
+        assert!(stats[12].0 > stats[1].0, "corner should sleep more than path");
+    }
+
+    #[test]
+    fn slow_link_delays_delivery_proportionally() {
+        // Same packet with/without a 6-cycle link 0->1 on a 0->3 path.
+        let deliver = |slow: bool| -> u64 {
+            let mut net = net();
+            if slow {
+                net.set_link_latency(NodeId(0), NodeId(1), 6);
+            }
+            net.enqueue_packet(packet(1, 0, 3, 1, 0));
+            let ej = run_until_drained(&mut net, 500);
+            ej[0].at
+        };
+        let fast = deliver(false);
+        let slow = deliver(true);
+        assert_eq!(slow, fast + 4, "6-cycle link replaces the default 2-cycle one");
+    }
+
+    #[test]
+    fn link_latency_default_matches_params() {
+        let net = net();
+        assert_eq!(net.link_latency(NodeId(0), NodeId(1)), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not mesh neighbors")]
+    fn non_neighbor_link_override_panics() {
+        let mut net = net();
+        net.set_link_latency(NodeId(0), NodeId(5), 3);
+    }
+
+    #[test]
+    fn static_mode_never_sleeps() {
+        let mut net = net();
+        net.set_counting(true);
+        for _ in 0..500 {
+            net.step().unwrap();
+        }
+        assert!(net.sleep_stats().iter().all(|&(s, w)| s == 0 && w == 0));
+    }
+
+    #[test]
+    fn step_reports_progress_events() {
+        let mut net = net();
+        net.enqueue_packet(packet(1, 0, 1, 1, 0));
+        let mut total_events = 0;
+        for _ in 0..50 {
+            total_events += net.step().unwrap().events;
+        }
+        assert!(total_events > 0);
+    }
+}

@@ -1,0 +1,273 @@
+//! Routing functions.
+//!
+//! The simulator is parameterized over a [`RoutingFunction`]; the baseline is
+//! dimension-order X-Y routing ([`XyRouting`]). The paper's CDOR (convex
+//! dimension-order routing with connectivity bits) lives in the
+//! `noc-sprinting` crate and implements this same trait.
+
+use std::fmt::Debug;
+
+use crate::geometry::{Direction, NodeId, Port};
+use crate::topology::Mesh2D;
+
+/// Computes the output port a head flit should take at a router.
+///
+/// Implementations must be deterministic: the simulator calls `route` once
+/// per packet per hop during the route-compute stage.
+pub trait RoutingFunction: Debug + Send + Sync {
+    /// Output port for a packet at `current` heading to `dst`.
+    ///
+    /// Returns [`Port::Local`] when `current == dst`.
+    fn route(&self, mesh: &Mesh2D, current: NodeId, dst: NodeId) -> Port;
+
+    /// Length (in hops) of the path this function produces, by walking it.
+    ///
+    /// Useful for tests and analytical latency estimates. Walks at most
+    /// `mesh.len()` hops and panics if the route does not converge (which
+    /// would indicate a livelock in the routing function).
+    fn path_hops(&self, mesh: &Mesh2D, src: NodeId, dst: NodeId) -> u32 {
+        let mut cur = src;
+        let mut hops = 0;
+        while cur != dst {
+            let port = self.route(mesh, cur, dst);
+            let dir = port
+                .direction()
+                .unwrap_or_else(|| panic!("route({cur}, {dst}) returned Local before arrival"));
+            cur = mesh
+                .neighbor(cur, dir)
+                .unwrap_or_else(|| panic!("route({cur}, {dst}) walked off the mesh going {dir}"));
+            hops += 1;
+            assert!(
+                hops <= mesh.len() as u32,
+                "routing function failed to converge from {src} to {dst}"
+            );
+        }
+        hops
+    }
+
+    /// Full path from `src` to `dst` including both endpoints.
+    fn path(&self, mesh: &Mesh2D, src: NodeId, dst: NodeId) -> Vec<NodeId> {
+        let mut cur = src;
+        let mut path = vec![cur];
+        while cur != dst {
+            let port = self.route(mesh, cur, dst);
+            let dir = port
+                .direction()
+                .unwrap_or_else(|| panic!("route({cur}, {dst}) returned Local before arrival"));
+            cur = mesh
+                .neighbor(cur, dir)
+                .unwrap_or_else(|| panic!("route({cur}, {dst}) walked off the mesh going {dir}"));
+            path.push(cur);
+            assert!(
+                path.len() <= mesh.len() + 1,
+                "routing function failed to converge from {src} to {dst}"
+            );
+        }
+        path
+    }
+}
+
+/// Classic dimension-order X-Y routing: correct X first, then Y.
+///
+/// Deadlock-free on a full mesh because it never makes a Y→X turn.
+///
+/// ```
+/// use noc_sim::routing::{RoutingFunction, XyRouting};
+/// use noc_sim::topology::Mesh2D;
+/// use noc_sim::geometry::NodeId;
+///
+/// let mesh = Mesh2D::paper_4x4();
+/// let xy = XyRouting;
+/// assert_eq!(xy.path_hops(&mesh, NodeId(0), NodeId(15)), 6);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct XyRouting;
+
+impl RoutingFunction for XyRouting {
+    fn route(&self, mesh: &Mesh2D, current: NodeId, dst: NodeId) -> Port {
+        let c = mesh.coord(current);
+        let d = mesh.coord(dst);
+        if c.x < d.x {
+            Port::Dir(Direction::East)
+        } else if c.x > d.x {
+            Port::Dir(Direction::West)
+        } else if c.y < d.y {
+            Port::Dir(Direction::South)
+        } else if c.y > d.y {
+            Port::Dir(Direction::North)
+        } else {
+            Port::Local
+        }
+    }
+}
+
+/// Deterministic negative-first routing (Glass & Ni turn model): all moves
+/// in the *negative* directions (west, north — toward smaller coordinates)
+/// are made before any positive move, which forbids every positive→negative
+/// turn and is therefore deadlock-free. Unlike dimension order it mixes the
+/// dimensions on the negative leg, giving a third deadlock-free baseline
+/// with a different turn set.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NegativeFirstRouting;
+
+impl RoutingFunction for NegativeFirstRouting {
+    fn route(&self, mesh: &Mesh2D, current: NodeId, dst: NodeId) -> Port {
+        let c = mesh.coord(current);
+        let d = mesh.coord(dst);
+        if c.x > d.x {
+            Port::Dir(Direction::West)
+        } else if c.y > d.y {
+            Port::Dir(Direction::North)
+        } else if c.x < d.x {
+            Port::Dir(Direction::East)
+        } else if c.y < d.y {
+            Port::Dir(Direction::South)
+        } else {
+            Port::Local
+        }
+    }
+}
+
+/// Y-X routing (correct Y first, then X); used in tests as an alternative
+/// deadlock-free baseline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct YxRouting;
+
+impl RoutingFunction for YxRouting {
+    fn route(&self, mesh: &Mesh2D, current: NodeId, dst: NodeId) -> Port {
+        let c = mesh.coord(current);
+        let d = mesh.coord(dst);
+        if c.y < d.y {
+            Port::Dir(Direction::South)
+        } else if c.y > d.y {
+            Port::Dir(Direction::North)
+        } else if c.x < d.x {
+            Port::Dir(Direction::East)
+        } else if c.x > d.x {
+            Port::Dir(Direction::West)
+        } else {
+            Port::Local
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xy_routes_minimally_between_all_pairs() {
+        let mesh = Mesh2D::paper_4x4();
+        let xy = XyRouting;
+        for s in mesh.nodes() {
+            for d in mesh.nodes() {
+                assert_eq!(xy.path_hops(&mesh, s, d), mesh.hops(s, d));
+            }
+        }
+    }
+
+    #[test]
+    fn yx_routes_minimally_between_all_pairs() {
+        let mesh = Mesh2D::new(5, 3).unwrap();
+        let yx = YxRouting;
+        for s in mesh.nodes() {
+            for d in mesh.nodes() {
+                assert_eq!(yx.path_hops(&mesh, s, d), mesh.hops(s, d));
+            }
+        }
+    }
+
+    #[test]
+    fn xy_corrects_x_before_y() {
+        let mesh = Mesh2D::paper_4x4();
+        // From node 0 (0,0) to node 15 (3,3): XY goes 0,1,2,3,7,11,15.
+        let path = XyRouting.path(&mesh, NodeId(0), NodeId(15));
+        let ids: Vec<usize> = path.iter().map(|n| n.0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 7, 11, 15]);
+    }
+
+    #[test]
+    fn yx_corrects_y_before_x() {
+        let mesh = Mesh2D::paper_4x4();
+        let path = YxRouting.path(&mesh, NodeId(0), NodeId(15));
+        let ids: Vec<usize> = path.iter().map(|n| n.0).collect();
+        assert_eq!(ids, vec![0, 4, 8, 12, 13, 14, 15]);
+    }
+
+    #[test]
+    fn route_to_self_is_local() {
+        let mesh = Mesh2D::paper_4x4();
+        assert_eq!(XyRouting.route(&mesh, NodeId(6), NodeId(6)), Port::Local);
+        assert_eq!(YxRouting.route(&mesh, NodeId(6), NodeId(6)), Port::Local);
+    }
+
+    #[test]
+    fn negative_first_is_minimal_everywhere() {
+        let mesh = Mesh2D::new(5, 6).unwrap();
+        let nf = NegativeFirstRouting;
+        for s in mesh.nodes() {
+            for d in mesh.nodes() {
+                assert_eq!(nf.path_hops(&mesh, s, d), mesh.hops(s, d));
+            }
+        }
+    }
+
+    #[test]
+    fn negative_first_never_turns_positive_to_negative() {
+        // The turn-model property itself: once a positive (E/S) move is
+        // made, no negative (W/N) move follows.
+        let mesh = Mesh2D::new(6, 6).unwrap();
+        let nf = NegativeFirstRouting;
+        for s in mesh.nodes() {
+            for d in mesh.nodes() {
+                let path = nf.path(&mesh, s, d);
+                let mut seen_positive = false;
+                for w in path.windows(2) {
+                    let a = mesh.coord(w[0]);
+                    let b = mesh.coord(w[1]);
+                    let negative = b.x < a.x || b.y < a.y;
+                    if seen_positive {
+                        assert!(!negative, "positive->negative turn on {path:?}");
+                    }
+                    seen_positive |= !negative;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn negative_first_differs_from_xy_on_northeast_routes() {
+        // To a destination north-east of the source, negative-first does
+        // the north leg before the east leg; XY does the opposite.
+        let mesh = Mesh2D::paper_4x4();
+        // From node 8 (0,2) to node 3 (3,0).
+        let nf_path = NegativeFirstRouting.path(&mesh, NodeId(8), NodeId(3));
+        let xy_path = XyRouting.path(&mesh, NodeId(8), NodeId(3));
+        assert_ne!(nf_path, xy_path);
+        assert_eq!(nf_path[1], NodeId(4), "negative-first goes north first");
+        assert_eq!(xy_path[1], NodeId(9), "XY goes east first");
+    }
+
+    #[test]
+    fn xy_never_turns_from_y_to_x() {
+        // Turn-model check: once travelling in Y, XY routing never goes back
+        // to X. Verified over every pair by inspecting consecutive moves.
+        let mesh = Mesh2D::new(6, 6).unwrap();
+        let xy = XyRouting;
+        for s in mesh.nodes() {
+            for d in mesh.nodes() {
+                let path = xy.path(&mesh, s, d);
+                let mut seen_y = false;
+                for w in path.windows(2) {
+                    let a = mesh.coord(w[0]);
+                    let b = mesh.coord(w[1]);
+                    let is_y_move = a.x == b.x;
+                    if seen_y {
+                        assert!(is_y_move, "Y→X turn on path {path:?}");
+                    }
+                    seen_y |= is_y_move;
+                }
+            }
+        }
+    }
+}

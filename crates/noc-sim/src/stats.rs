@@ -1,0 +1,189 @@
+//! Latency and throughput statistics.
+
+/// Online accumulator for a latency population.
+#[derive(Debug, Clone, Default)]
+pub struct LatencySample {
+    values: Vec<u64>,
+}
+
+impl LatencySample {
+    /// Creates an empty sample.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one latency observation (cycles).
+    pub fn record(&mut self, cycles: u64) {
+        self.values.push(cycles);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Arithmetic mean, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.values.is_empty() {
+            return None;
+        }
+        Some(self.values.iter().sum::<u64>() as f64 / self.values.len() as f64)
+    }
+
+    /// Maximum observation.
+    pub fn max(&self) -> Option<u64> {
+        self.values.iter().copied().max()
+    }
+
+    /// Minimum observation.
+    pub fn min(&self) -> Option<u64> {
+        self.values.iter().copied().min()
+    }
+
+    /// `q`-quantile (0.0..=1.0) by nearest-rank on a sorted copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+        if self.values.is_empty() {
+            return None;
+        }
+        let mut sorted = self.values.clone();
+        sorted.sort_unstable();
+        let rank = ((q * (sorted.len() as f64 - 1.0)).round() as usize).min(sorted.len() - 1);
+        Some(sorted[rank])
+    }
+
+    /// Histogram with the given bucket width; returns `(bucket_start, count)`
+    /// pairs for nonempty buckets in ascending order.
+    pub fn histogram(&self, bucket: u64) -> Vec<(u64, usize)> {
+        assert!(bucket > 0, "bucket width must be positive");
+        let mut map = std::collections::BTreeMap::new();
+        for &v in &self.values {
+            *map.entry(v / bucket * bucket).or_insert(0) += 1;
+        }
+        map.into_iter().collect()
+    }
+}
+
+/// Aggregated output of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimStats {
+    /// End-to-end packet latency (creation to tail delivery), cycles.
+    pub packet_latency: LatencySample,
+    /// Network latency (head injection to tail delivery), cycles.
+    pub network_latency: LatencySample,
+    /// Measured packets delivered.
+    pub packets_delivered: u64,
+    /// Measured flits delivered.
+    pub flits_delivered: u64,
+    /// All flits (measured or not) delivered *during* the measurement
+    /// window; the basis for accepted throughput.
+    pub window_flits: u64,
+    /// Cycles in the measurement window.
+    pub measure_cycles: u64,
+    /// Number of traffic-generating nodes.
+    pub traffic_nodes: usize,
+    /// Offered load, flits/cycle/node.
+    pub offered_load: f64,
+    /// Whether the run failed to drain measured packets in the drain budget
+    /// (the operating point is beyond saturation).
+    pub saturated: bool,
+}
+
+impl SimStats {
+    /// Accepted throughput in flits/cycle/node over the measurement window.
+    pub fn accepted_throughput(&self) -> f64 {
+        if self.measure_cycles == 0 || self.traffic_nodes == 0 {
+            return 0.0;
+        }
+        self.window_flits as f64 / self.measure_cycles as f64 / self.traffic_nodes as f64
+    }
+
+    /// Mean packet latency (cycles); `f64::INFINITY` when nothing delivered
+    /// (deep saturation).
+    pub fn avg_packet_latency(&self) -> f64 {
+        self.packet_latency.mean().unwrap_or(f64::INFINITY)
+    }
+
+    /// Mean network latency (cycles).
+    pub fn avg_network_latency(&self) -> f64 {
+        self.network_latency.mean().unwrap_or(f64::INFINITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sample_has_no_stats() {
+        let s = LatencySample::new();
+        assert_eq!(s.count(), 0);
+        assert!(s.mean().is_none());
+        assert!(s.quantile(0.5).is_none());
+        assert!(s.max().is_none());
+    }
+
+    #[test]
+    fn mean_and_extremes() {
+        let mut s = LatencySample::new();
+        for v in [10, 20, 30] {
+            s.record(v);
+        }
+        assert_eq!(s.mean(), Some(20.0));
+        assert_eq!(s.min(), Some(10));
+        assert_eq!(s.max(), Some(30));
+    }
+
+    #[test]
+    fn quantiles_nearest_rank() {
+        let mut s = LatencySample::new();
+        for v in 1..=100 {
+            s.record(v);
+        }
+        assert_eq!(s.quantile(0.0), Some(1));
+        assert_eq!(s.quantile(1.0), Some(100));
+        let p50 = s.quantile(0.5).unwrap();
+        assert!((49..=52).contains(&p50));
+        let p99 = s.quantile(0.99).unwrap();
+        assert!((98..=100).contains(&p99));
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let mut s = LatencySample::new();
+        for v in [1, 2, 9, 10, 11, 25] {
+            s.record(v);
+        }
+        let h = s.histogram(10);
+        assert_eq!(h, vec![(0, 3), (10, 2), (20, 1)]);
+    }
+
+    #[test]
+    fn throughput_computation() {
+        let stats = SimStats {
+            packet_latency: LatencySample::new(),
+            network_latency: LatencySample::new(),
+            packets_delivered: 100,
+            flits_delivered: 500,
+            window_flits: 500,
+            measure_cycles: 1000,
+            traffic_nodes: 5,
+            offered_load: 0.1,
+            saturated: false,
+        };
+        assert!((stats.accepted_throughput() - 0.1).abs() < 1e-12);
+        assert_eq!(stats.avg_packet_latency(), f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn quantile_out_of_range_panics() {
+        let mut s = LatencySample::new();
+        s.record(1);
+        let _ = s.quantile(1.5);
+    }
+}

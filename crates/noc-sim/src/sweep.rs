@@ -1,0 +1,196 @@
+//! Load sweeps and saturation analysis (booksim-style reporting).
+//!
+//! A network configuration is characterized by its latency-vs-offered-load
+//! curve: flat near zero load ("zero-load latency"), rising with queueing,
+//! and diverging at the saturation throughput. [`LoadSweep`] runs the curve
+//! and [`SweepReport`] extracts the standard scalar summaries the Fig. 11
+//! analysis needs.
+
+use crate::error::SimError;
+use crate::network::Network;
+use crate::router::RouterParams;
+use crate::routing::RoutingFunction;
+use crate::sim::{SimConfig, Simulation};
+use crate::topology::Mesh2D;
+use crate::traffic::{Placement, TrafficGen, TrafficPattern};
+
+/// One operating point of a sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// Offered load (flits/cycle/node).
+    pub offered: f64,
+    /// Mean packet latency (cycles; includes source queueing).
+    pub packet_latency: f64,
+    /// Mean network latency (cycles).
+    pub network_latency: f64,
+    /// Accepted throughput (flits/cycle/node).
+    pub accepted: f64,
+    /// Whether the point is past saturation.
+    pub saturated: bool,
+}
+
+/// Summary of a full sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepReport {
+    /// The measured curve, ascending offered load.
+    pub points: Vec<SweepPoint>,
+}
+
+impl SweepReport {
+    /// Latency of the lowest-load point (the zero-load estimate).
+    pub fn zero_load_latency(&self) -> Option<f64> {
+        self.points.first().map(|p| p.network_latency)
+    }
+
+    /// The lowest offered load flagged saturated, if any point saturated.
+    pub fn saturation_onset(&self) -> Option<f64> {
+        self.points.iter().find(|p| p.saturated).map(|p| p.offered)
+    }
+
+    /// The largest accepted throughput observed (the capacity estimate).
+    pub fn peak_accepted(&self) -> f64 {
+        self.points.iter().map(|p| p.accepted).fold(0.0, f64::max)
+    }
+
+    /// Mean network latency over unsaturated points at or below `max_load`.
+    pub fn mean_latency_below(&self, max_load: f64) -> Option<f64> {
+        let xs: Vec<f64> = self
+            .points
+            .iter()
+            .filter(|p| !p.saturated && p.offered <= max_load)
+            .map(|p| p.network_latency)
+            .collect();
+        if xs.is_empty() {
+            None
+        } else {
+            Some(xs.iter().sum::<f64>() / xs.len() as f64)
+        }
+    }
+}
+
+/// A configurable load sweep over one network setup.
+///
+/// The builder is re-invoked per point because [`Network`] is consumed by
+/// each run; `build` receives the operating point's seed so full-sprinting
+/// random placements can vary per sample.
+#[derive(Debug, Clone)]
+pub struct LoadSweep {
+    /// Mesh under test.
+    pub mesh: Mesh2D,
+    /// Router parameters.
+    pub params: RouterParams,
+    /// Traffic pattern.
+    pub pattern: TrafficPattern,
+    /// Flits per packet.
+    pub packet_len: u32,
+    /// Offered loads to visit (ascending).
+    pub loads: Vec<f64>,
+    /// Simulation phases per point.
+    pub sim_config: SimConfig,
+    /// RNG seed base.
+    pub seed: u64,
+}
+
+impl LoadSweep {
+    /// A standard sweep from 4% to ~92% load in 8% steps.
+    pub fn standard(mesh: Mesh2D, pattern: TrafficPattern) -> Self {
+        LoadSweep {
+            mesh,
+            params: RouterParams::paper(),
+            pattern,
+            packet_len: 5,
+            loads: (1..=12).map(|i| 0.04 + 0.08 * f64::from(i - 1)).collect(),
+            sim_config: SimConfig::sweep(),
+            seed: 7,
+        }
+    }
+
+    /// Runs the sweep with a routing-function builder and node placement.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors from any operating point.
+    pub fn run<F>(&self, placement: &Placement, mut make_routing: F) -> Result<SweepReport, SimError>
+    where
+        F: FnMut() -> Box<dyn RoutingFunction>,
+    {
+        let mut points = Vec::new();
+        for (i, &load) in self.loads.iter().enumerate() {
+            let net = Network::new(self.mesh, self.params, make_routing())?;
+            let traffic = TrafficGen::new(
+                self.pattern,
+                placement.clone(),
+                load,
+                self.packet_len,
+                self.seed + i as u64,
+            )?;
+            let out = Simulation::new(net, traffic, self.sim_config).run()?;
+            points.push(SweepPoint {
+                offered: load,
+                packet_latency: out.stats.avg_packet_latency(),
+                network_latency: out.stats.avg_network_latency(),
+                accepted: out.stats.accepted_throughput(),
+                saturated: out.stats.saturated,
+            });
+        }
+        Ok(SweepReport { points })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::XyRouting;
+
+    fn quick_sweep() -> SweepReport {
+        let mesh = Mesh2D::paper_4x4();
+        let mut sweep = LoadSweep::standard(mesh, TrafficPattern::UniformRandom);
+        sweep.sim_config = SimConfig::quick();
+        sweep
+            .run(&Placement::full(&mesh), || Box::new(XyRouting))
+            .unwrap()
+    }
+
+    #[test]
+    fn latency_curve_is_increasing_overall() {
+        let r = quick_sweep();
+        let first = r.points.first().unwrap().packet_latency;
+        let last_unsat = r
+            .points
+            .iter()
+            .rev()
+            .find(|p| !p.saturated)
+            .unwrap()
+            .packet_latency;
+        assert!(last_unsat > first, "queueing must grow with load");
+    }
+
+    #[test]
+    fn uniform_4x4_saturates_in_the_classic_band() {
+        // XY on a 4x4 with 4 VCs saturates somewhere around 0.35-0.7
+        // flits/cycle/node for uniform random.
+        let r = quick_sweep();
+        let onset = r.saturation_onset().expect("sweep reaches saturation");
+        assert!(
+            (0.3..0.8).contains(&onset),
+            "saturation onset {onset} out of band"
+        );
+        assert!(r.peak_accepted() > 0.3);
+    }
+
+    #[test]
+    fn zero_load_latency_matches_expectation() {
+        let r = quick_sweep();
+        let z = r.zero_load_latency().unwrap();
+        // ~ (avg hops 2.67 + ejection) * 5 + serialization 4 ≈ 22.
+        assert!((15.0..30.0).contains(&z), "zero-load {z}");
+    }
+
+    #[test]
+    fn mean_latency_below_excludes_saturated_points() {
+        let r = quick_sweep();
+        let low = r.mean_latency_below(0.2).unwrap();
+        let z = r.zero_load_latency().unwrap();
+        assert!(low >= z - 1.0 && low < z + 15.0);
+    }
+}

@@ -1,0 +1,226 @@
+//! 2D mesh topology: node/coordinate conversion and neighbor lookup.
+
+use crate::geometry::{Coord, Direction, NodeId};
+
+/// A `width x height` 2D mesh.
+///
+/// Node ids are row-major: node `k` is at `(k % width, k / width)` with the
+/// origin at the top-left corner (matching the paper's Fig. 5a numbering,
+/// where node 0 is top-left and node numbers grow left-to-right then
+/// top-to-bottom).
+///
+/// ```
+/// use noc_sim::topology::Mesh2D;
+/// use noc_sim::geometry::{Coord, Direction, NodeId};
+///
+/// let mesh = Mesh2D::new(4, 4)?;
+/// assert_eq!(mesh.coord(NodeId(5)), Coord::new(1, 1));
+/// assert_eq!(mesh.neighbor(NodeId(5), Direction::East), Some(NodeId(6)));
+/// assert_eq!(mesh.neighbor(NodeId(0), Direction::North), None);
+/// # Ok::<(), noc_sim::error::TopologyError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Mesh2D {
+    width: u16,
+    height: u16,
+}
+
+impl Mesh2D {
+    /// Creates a mesh of the given dimensions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::EmptyMesh`](crate::error::TopologyError) if
+    /// either dimension is zero.
+    pub fn new(width: u16, height: u16) -> Result<Self, crate::error::TopologyError> {
+        if width == 0 || height == 0 {
+            return Err(crate::error::TopologyError::EmptyMesh { width, height });
+        }
+        Ok(Mesh2D { width, height })
+    }
+
+    /// The canonical 4x4 mesh used throughout the paper's evaluation.
+    pub fn paper_4x4() -> Self {
+        Mesh2D {
+            width: 4,
+            height: 4,
+        }
+    }
+
+    /// Mesh width (number of columns).
+    #[inline]
+    pub fn width(&self) -> u16 {
+        self.width
+    }
+
+    /// Mesh height (number of rows).
+    #[inline]
+    pub fn height(&self) -> u16 {
+        self.height
+    }
+
+    /// Total number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        usize::from(self.width) * usize::from(self.height)
+    }
+
+    /// Whether the mesh has no nodes; always `false` for a constructed mesh.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Coordinate of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[inline]
+    pub fn coord(&self, node: NodeId) -> Coord {
+        assert!(node.0 < self.len(), "node {node} out of range for {self:?}");
+        Coord::new(
+            (node.0 % usize::from(self.width)) as u16,
+            (node.0 / usize::from(self.width)) as u16,
+        )
+    }
+
+    /// Node at a coordinate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate lies outside the mesh.
+    #[inline]
+    pub fn node(&self, coord: Coord) -> NodeId {
+        assert!(
+            self.contains(coord),
+            "coord {coord} out of range for {self:?}"
+        );
+        NodeId(usize::from(coord.y) * usize::from(self.width) + usize::from(coord.x))
+    }
+
+    /// Whether the coordinate lies inside the mesh.
+    #[inline]
+    pub fn contains(&self, coord: Coord) -> bool {
+        coord.x < self.width && coord.y < self.height
+    }
+
+    /// The neighbor of `node` in direction `dir`, if one exists.
+    pub fn neighbor(&self, node: NodeId, dir: Direction) -> Option<NodeId> {
+        let c = self.coord(node);
+        let (dx, dy) = dir.delta();
+        let nx = i32::from(c.x) + dx;
+        let ny = i32::from(c.y) + dy;
+        if nx < 0 || ny < 0 || nx >= i32::from(self.width) || ny >= i32::from(self.height) {
+            None
+        } else {
+            Some(self.node(Coord::new(nx as u16, ny as u16)))
+        }
+    }
+
+    /// Iterates over all node ids in index order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.len()).map(NodeId)
+    }
+
+    /// Iterates over all directed links as `(from, to, direction)`.
+    ///
+    /// Each physical bidirectional link appears twice, once per direction,
+    /// which matches how the router model owns one outgoing channel per port.
+    pub fn links(&self) -> impl Iterator<Item = (NodeId, NodeId, Direction)> + '_ {
+        self.nodes().flat_map(move |n| {
+            Direction::ALL
+                .into_iter()
+                .filter_map(move |d| self.neighbor(n, d).map(|m| (n, m, d)))
+        })
+    }
+
+    /// Number of directed links (`2 *` physical links).
+    pub fn num_directed_links(&self) -> usize {
+        let w = usize::from(self.width);
+        let h = usize::from(self.height);
+        2 * ((w - 1) * h + w * (h - 1))
+    }
+
+    /// Minimal hop count between two nodes (Manhattan distance).
+    pub fn hops(&self, a: NodeId, b: NodeId) -> u32 {
+        self.coord(a).manhattan(self.coord(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_empty_mesh() {
+        assert!(Mesh2D::new(0, 4).is_err());
+        assert!(Mesh2D::new(4, 0).is_err());
+    }
+
+    #[test]
+    fn coord_node_roundtrip() {
+        let mesh = Mesh2D::new(5, 3).unwrap();
+        for n in mesh.nodes() {
+            assert_eq!(mesh.node(mesh.coord(n)), n);
+        }
+    }
+
+    #[test]
+    fn paper_mesh_is_4x4() {
+        let mesh = Mesh2D::paper_4x4();
+        assert_eq!(mesh.len(), 16);
+        assert_eq!(mesh.coord(NodeId(0)), Coord::new(0, 0));
+        assert_eq!(mesh.coord(NodeId(5)), Coord::new(1, 1));
+        assert_eq!(mesh.coord(NodeId(15)), Coord::new(3, 3));
+    }
+
+    #[test]
+    fn neighbors_at_edges_are_none() {
+        let mesh = Mesh2D::paper_4x4();
+        assert_eq!(mesh.neighbor(NodeId(0), Direction::North), None);
+        assert_eq!(mesh.neighbor(NodeId(0), Direction::West), None);
+        assert_eq!(mesh.neighbor(NodeId(3), Direction::East), None);
+        assert_eq!(mesh.neighbor(NodeId(15), Direction::South), None);
+    }
+
+    #[test]
+    fn neighbors_in_interior() {
+        let mesh = Mesh2D::paper_4x4();
+        assert_eq!(mesh.neighbor(NodeId(5), Direction::North), Some(NodeId(1)));
+        assert_eq!(mesh.neighbor(NodeId(5), Direction::South), Some(NodeId(9)));
+        assert_eq!(mesh.neighbor(NodeId(5), Direction::East), Some(NodeId(6)));
+        assert_eq!(mesh.neighbor(NodeId(5), Direction::West), Some(NodeId(4)));
+    }
+
+    #[test]
+    fn neighbor_relation_is_symmetric() {
+        let mesh = Mesh2D::new(6, 2).unwrap();
+        for (a, b, d) in mesh.links() {
+            assert_eq!(mesh.neighbor(b, d.opposite()), Some(a));
+        }
+    }
+
+    #[test]
+    fn link_count_matches_formula() {
+        for (w, h) in [(1u16, 1u16), (4, 4), (2, 7), (8, 8)] {
+            let mesh = Mesh2D::new(w, h).unwrap();
+            assert_eq!(mesh.links().count(), mesh.num_directed_links());
+        }
+    }
+
+    #[test]
+    fn hops_is_manhattan() {
+        let mesh = Mesh2D::paper_4x4();
+        assert_eq!(mesh.hops(NodeId(0), NodeId(15)), 6);
+        assert_eq!(mesh.hops(NodeId(0), NodeId(3)), 3);
+        assert_eq!(mesh.hops(NodeId(9), NodeId(9)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn coord_out_of_range_panics() {
+        let mesh = Mesh2D::paper_4x4();
+        let _ = mesh.coord(NodeId(16));
+    }
+}

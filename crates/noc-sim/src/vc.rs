@@ -1,0 +1,124 @@
+//! Virtual-channel state tracking.
+
+use std::collections::VecDeque;
+
+use crate::geometry::Port;
+use crate::packet::Flit;
+
+/// Lifecycle of an input virtual channel, following the classic
+/// wormhole-router state machine (Idle → RouteComputed → Active → Idle).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VcState {
+    /// No packet owns this VC.
+    Idle,
+    /// A head flit has been buffered and its output port computed; waiting
+    /// for VC allocation.
+    RouteComputed {
+        /// Output port chosen by the routing function.
+        out_port: Port,
+    },
+    /// Output VC granted; flits may compete for the switch.
+    Active {
+        /// Output port chosen by the routing function.
+        out_port: Port,
+        /// Downstream VC granted by the VC allocator.
+        out_vc: usize,
+    },
+}
+
+impl VcState {
+    /// Output port requested or held by this VC, if any.
+    pub fn out_port(&self) -> Option<Port> {
+        match self {
+            VcState::Idle => None,
+            VcState::RouteComputed { out_port } | VcState::Active { out_port, .. } => {
+                Some(*out_port)
+            }
+        }
+    }
+}
+
+/// One input virtual channel: a flit FIFO plus allocation state.
+#[derive(Debug, Clone)]
+pub struct VirtualChannel {
+    /// Buffered flits, head of packet at the front.
+    pub buffer: VecDeque<Flit>,
+    /// Allocation state.
+    pub state: VcState,
+}
+
+impl VirtualChannel {
+    /// Creates an empty, idle VC.
+    pub fn new() -> Self {
+        VirtualChannel {
+            buffer: VecDeque::new(),
+            state: VcState::Idle,
+        }
+    }
+
+    /// Flit at the head of the FIFO.
+    pub fn head(&self) -> Option<&Flit> {
+        self.buffer.front()
+    }
+
+    /// Number of buffered flits.
+    pub fn occupancy(&self) -> usize {
+        self.buffer.len()
+    }
+}
+
+impl Default for VirtualChannel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::{Direction, NodeId};
+    use crate::packet::{Packet, PacketId};
+
+    #[test]
+    fn new_vc_is_idle_and_empty() {
+        let vc = VirtualChannel::new();
+        assert_eq!(vc.state, VcState::Idle);
+        assert_eq!(vc.occupancy(), 0);
+        assert!(vc.head().is_none());
+    }
+
+    #[test]
+    fn state_out_port_accessor() {
+        assert_eq!(VcState::Idle.out_port(), None);
+        let p = Port::Dir(Direction::East);
+        assert_eq!(VcState::RouteComputed { out_port: p }.out_port(), Some(p));
+        assert_eq!(
+            VcState::Active {
+                out_port: p,
+                out_vc: 2
+            }
+            .out_port(),
+            Some(p)
+        );
+    }
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let mut vc = VirtualChannel::new();
+        let p = Packet {
+            id: PacketId(0),
+            src: NodeId(0),
+            dst: NodeId(1),
+            len: 3,
+            created: 0,
+            measured: false,
+            vnet: 0,
+        };
+        for seq in 0..3 {
+            vc.buffer.push_back(p.flit(seq, 0));
+        }
+        assert_eq!(vc.head().unwrap().seq, 0);
+        vc.buffer.pop_front();
+        assert_eq!(vc.head().unwrap().seq, 1);
+    }
+}

@@ -1,0 +1,83 @@
+//! Heat-map rendering for temperature fields (Fig. 12 output).
+
+use crate::grid::TemperatureField;
+
+/// Renders a field as CSV (one row per grid row, kelvin).
+pub fn to_csv(field: &TemperatureField) -> String {
+    let mut out = String::new();
+    for y in 0..field.height() {
+        for x in 0..field.width() {
+            if x > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{:.2}", field.at(x, y)));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a field as an ASCII heat map with a 10-level intensity ramp
+/// between `min` and `max` kelvin, plus a per-cell temperature grid.
+pub fn render_ascii(field: &TemperatureField, min: f64, max: f64) -> String {
+    const RAMP: &[u8] = b" .:-=+*#%@";
+    let span = (max - min).max(1e-9);
+    let mut out = String::new();
+    for y in 0..field.height() {
+        for x in 0..field.width() {
+            let t = field.at(x, y);
+            let level = (((t - min) / span) * (RAMP.len() as f64 - 1.0))
+                .round()
+                .clamp(0.0, RAMP.len() as f64 - 1.0) as usize;
+            let ch = RAMP[level] as char;
+            out.push_str(&format!("[{ch}{ch}{t:7.2}]"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::ThermalGrid;
+
+    fn field() -> TemperatureField {
+        let g = ThermalGrid::paper();
+        let mut power = vec![0.15; 16];
+        power[5] = 3.7;
+        g.steady_state(&power)
+    }
+
+    #[test]
+    fn csv_has_grid_shape() {
+        let csv = to_csv(&field());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines.iter().all(|l| l.split(',').count() == 4));
+    }
+
+    #[test]
+    fn ascii_marks_hotspot_with_dense_glyph() {
+        let f = field();
+        let (_, peak) = f.peak();
+        let s = render_ascii(&f, 318.0, peak);
+        assert!(s.contains('@'), "hotspot glyph missing:\n{s}");
+        assert_eq!(s.lines().count(), 4);
+    }
+
+    #[test]
+    fn csv_values_parse_back() {
+        let f = field();
+        let csv = to_csv(&f);
+        let parsed: Vec<f64> = csv
+            .lines()
+            .flat_map(|l| l.split(','))
+            .map(|v| v.parse().unwrap())
+            .collect();
+        assert_eq!(parsed.len(), 16);
+        for (a, b) in parsed.iter().zip(f.as_slice()) {
+            assert!((a - b).abs() < 0.01);
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! # noc-thermal — RC-grid thermal model with phase-change sprinting
+//!
+//! The HotSpot-class substrate of the [NoC-Sprinting (DAC 2014)]
+//! reproduction:
+//!
+//! - [`grid`] — an RC thermal grid over the 16-block floorplan with lateral
+//!   conduction, vertical paths to the sink and boundary spreading; steady
+//!   state (Fig. 12 heat maps) and transients,
+//! - [`pcm`] — phase-change-material latent-heat storage,
+//! - [`sprint`] — the lumped three-phase sprint timeline of Fig. 1 and the
+//!   melt-duration analysis of §4.4,
+//! - [`heatmap`] — CSV/ASCII rendering of temperature fields.
+//!
+//! [NoC-Sprinting (DAC 2014)]: https://doi.org/10.1145/2593069.2593165
+//!
+//! ## Example: a 4-core sprint heat map
+//!
+//! ```
+//! use noc_thermal::grid::ThermalGrid;
+//!
+//! let grid = ThermalGrid::paper();
+//! let mut power = vec![0.15; 16]; // dark tiles
+//! for i in [0, 1, 4, 5] {
+//!     power[i] = 3.7; // the 4-core sprint region
+//! }
+//! let field = grid.steady_state(&power);
+//! let (block, kelvin) = field.peak();
+//! assert!(kelvin > 318.15, "hotter than ambient (block {block})");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod grid;
+pub mod grid_sprint;
+pub mod heatmap;
+pub mod pcm;
+pub mod sprint;
+
+pub use grid::{GridParams, TemperatureField, ThermalGrid};
+pub use grid_sprint::{GridSprintSim, SpatialSprintOutcome};
+pub use pcm::{PcmState, PhaseChangeMaterial};
+pub use sprint::{LumpedState, SprintPhase, SprintPhases, SprintThermalModel, TimelinePoint};

@@ -1,0 +1,156 @@
+//! Phase-change-material (PCM) heat storage.
+//!
+//! Computational sprinting [Raghavan et al., HPCA'12] places a PCM close to
+//! the die: while the material melts, the junction temperature plateaus at
+//! `T_melt` and the latent heat of fusion absorbs the sprint's excess energy.
+//! The melt duration — the paper's *phase 2* — is what NoC-sprinting extends
+//! by 55.4% on average by sprinting at lower power.
+
+/// A lumped phase-change material layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseChangeMaterial {
+    /// Melting temperature (K).
+    pub melt_temp: f64,
+    /// Total latent heat of fusion of the installed mass (J).
+    pub latent_heat: f64,
+}
+
+impl PhaseChangeMaterial {
+    /// A paraffin-class PCM sized for ~1 s of full-chip sprinting, melting
+    /// at 58 °C: the configuration implied by the paper's "the chip can
+    /// sustain computational sprinting for one second in the worst case".
+    pub fn paper() -> Self {
+        PhaseChangeMaterial {
+            melt_temp: 331.15,
+            latent_heat: 45.0,
+        }
+    }
+
+    /// Creates a PCM.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive latent heat or melt temperature.
+    pub fn new(melt_temp: f64, latent_heat: f64) -> Self {
+        assert!(melt_temp > 0.0, "melt temperature must be positive kelvin");
+        assert!(latent_heat > 0.0, "latent heat must be positive");
+        PhaseChangeMaterial {
+            melt_temp,
+            latent_heat,
+        }
+    }
+
+    /// Time (s) to fully melt under a constant *net* heat inflow (W).
+    ///
+    /// Returns `f64::INFINITY` when the inflow is non-positive (the package
+    /// can dissipate the power without consuming latent heat — sprinting is
+    /// thermally sustainable).
+    pub fn melt_duration(&self, net_inflow_w: f64) -> f64 {
+        if net_inflow_w <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.latent_heat / net_inflow_w
+        }
+    }
+}
+
+/// Mutable melting state of a PCM layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PcmState {
+    /// The material.
+    pub material: PhaseChangeMaterial,
+    /// Latent energy absorbed so far (J), in `[0, latent_heat]`.
+    pub absorbed: f64,
+}
+
+impl PcmState {
+    /// Fresh (fully solid) state.
+    pub fn solid(material: PhaseChangeMaterial) -> Self {
+        PcmState {
+            material,
+            absorbed: 0.0,
+        }
+    }
+
+    /// Melt fraction in `[0, 1]`.
+    pub fn melt_fraction(&self) -> f64 {
+        (self.absorbed / self.material.latent_heat).clamp(0.0, 1.0)
+    }
+
+    /// Whether all latent capacity is consumed.
+    pub fn is_fully_melted(&self) -> bool {
+        self.absorbed >= self.material.latent_heat
+    }
+
+    /// Absorbs up to `joules` of heat into latent storage; returns the
+    /// amount that could **not** be absorbed (overflow past full melt).
+    pub fn absorb(&mut self, joules: f64) -> f64 {
+        assert!(joules >= 0.0, "cannot absorb negative heat");
+        let room = self.material.latent_heat - self.absorbed;
+        if joules <= room {
+            self.absorbed += joules;
+            0.0
+        } else {
+            self.absorbed = self.material.latent_heat;
+            joules - room
+        }
+    }
+
+    /// Releases up to `joules` of stored latent heat (re-freezing during
+    /// cool-down); returns the amount actually released.
+    pub fn release(&mut self, joules: f64) -> f64 {
+        assert!(joules >= 0.0, "cannot release negative heat");
+        let out = joules.min(self.absorbed);
+        self.absorbed -= out;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn melt_duration_inversely_proportional_to_power() {
+        let pcm = PhaseChangeMaterial::new(331.0, 50.0);
+        assert!((pcm.melt_duration(50.0) - 1.0).abs() < 1e-12);
+        assert!((pcm.melt_duration(25.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sustainable_power_melts_never() {
+        let pcm = PhaseChangeMaterial::paper();
+        assert_eq!(pcm.melt_duration(0.0), f64::INFINITY);
+        assert_eq!(pcm.melt_duration(-5.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn absorb_tracks_melt_fraction_and_overflows() {
+        let mut s = PcmState::solid(PhaseChangeMaterial::new(331.0, 10.0));
+        assert_eq!(s.melt_fraction(), 0.0);
+        assert_eq!(s.absorb(4.0), 0.0);
+        assert!((s.melt_fraction() - 0.4).abs() < 1e-12);
+        let overflow = s.absorb(8.0);
+        assert!((overflow - 2.0).abs() < 1e-12);
+        assert!(s.is_fully_melted());
+    }
+
+    #[test]
+    fn release_refreezes() {
+        let mut s = PcmState::solid(PhaseChangeMaterial::new(331.0, 10.0));
+        s.absorb(6.0);
+        assert_eq!(s.release(4.0), 4.0);
+        assert!((s.melt_fraction() - 0.2).abs() < 1e-12);
+        // Cannot release more than stored.
+        assert_eq!(s.release(100.0), 2.0);
+        assert_eq!(s.melt_fraction(), 0.0);
+    }
+
+    #[test]
+    fn paper_pcm_sized_for_one_second_full_sprint() {
+        // Full-sprint net inflow of ~45 W melts the paper PCM in ~1 s.
+        let pcm = PhaseChangeMaterial::paper();
+        let d = pcm.melt_duration(45.0);
+        assert!((0.8..1.2).contains(&d), "duration {d} s");
+    }
+}

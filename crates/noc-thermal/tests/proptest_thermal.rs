@@ -1,0 +1,107 @@
+//! Property-based tests of the thermal models.
+
+use proptest::prelude::*;
+
+use noc_thermal::grid::{GridParams, ThermalGrid};
+use noc_thermal::pcm::{PcmState, PhaseChangeMaterial};
+use noc_thermal::sprint::SprintThermalModel;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn steady_state_above_ambient_for_positive_power(
+        powers in prop::collection::vec(0.0f64..5.0, 16),
+    ) {
+        let grid = ThermalGrid::new(4, 4, GridParams::paper_16block());
+        let f = grid.steady_state(&powers);
+        let ambient = grid.params().ambient;
+        for (i, &t) in f.as_slice().iter().enumerate() {
+            prop_assert!(t >= ambient - 1e-6, "block {i} below ambient: {t}");
+        }
+        // Peak bounded by the all-resistance-in-series worst case.
+        let total: f64 = powers.iter().sum();
+        let bound = ambient + total * grid.params().r_vertical;
+        prop_assert!(f.peak().1 <= bound + 1e-6);
+    }
+
+    #[test]
+    fn transient_never_overshoots_steady_state_peak(
+        power in 0.5f64..4.0,
+        seconds in 0.05f64..2.0,
+    ) {
+        let params = GridParams::paper_16block();
+        let mut grid = ThermalGrid::new(4, 4, params);
+        let trace = vec![power; 16];
+        let target = grid.steady_state(&trace).peak().1;
+        grid.step_transient(&trace, seconds);
+        // First-order RC networks approach steady state monotonically from
+        // below when starting at ambient.
+        prop_assert!(grid.field().peak().1 <= target + 1e-6);
+    }
+
+    #[test]
+    fn pcm_absorb_release_roundtrips(
+        latent in 1.0f64..100.0,
+        heats in prop::collection::vec(0.0f64..10.0, 1..20),
+    ) {
+        let mut s = PcmState::solid(PhaseChangeMaterial::new(331.0, latent));
+        let mut stored = 0.0f64;
+        for &h in &heats {
+            let overflow = s.absorb(h);
+            stored = (stored + h - overflow).min(latent);
+            prop_assert!(overflow >= 0.0);
+            prop_assert!((s.melt_fraction() - stored / latent).abs() < 1e-9);
+        }
+        // Release everything: fraction returns to zero.
+        let released = s.release(stored + 1.0);
+        prop_assert!((released - stored).abs() < 1e-9);
+        prop_assert_eq!(s.melt_fraction(), 0.0);
+    }
+
+    #[test]
+    fn sprint_duration_monotone_decreasing_in_power(
+        p1 in 20.0f64..50.0,
+        delta in 1.0f64..30.0,
+    ) {
+        let m = SprintThermalModel::paper();
+        let d1 = m.sprint_duration(p1);
+        let d2 = m.sprint_duration(p1 + delta);
+        prop_assert!(d2 <= d1, "more power must not sprint longer: {d1} -> {d2}");
+    }
+
+    #[test]
+    fn analytic_durations_match_simulation(power in 25.0f64..70.0) {
+        let m = SprintThermalModel::paper();
+        let analytic = m.phase_durations(power);
+        prop_assume!(analytic.total().is_finite());
+        let pts = m.simulate(power, 3.0, 1e9, 0.0, 5e-4);
+        // The simulated sprint ends (shutdown) within 5% of the analytic
+        // total duration.
+        let peak_time = pts
+            .iter()
+            .find(|p| p.temp >= m.t_max - 0.5)
+            .map(|p| p.time);
+        if let Some(t) = peak_time {
+            prop_assert!(
+                (t - analytic.total()).abs() / analytic.total() < 0.05,
+                "simulated {t} vs analytic {}",
+                analytic.total()
+            );
+        }
+    }
+
+    #[test]
+    fn grid_field_statistics_consistent(
+        powers in prop::collection::vec(0.0f64..6.0, 16),
+    ) {
+        let grid = ThermalGrid::new(4, 4, GridParams::paper_16block());
+        let f = grid.steady_state(&powers);
+        let (idx, peak) = f.peak();
+        prop_assert!(idx < 16);
+        prop_assert!(peak >= f.mean());
+        for &t in f.as_slice() {
+            prop_assert!(t <= peak + 1e-12);
+        }
+    }
+}

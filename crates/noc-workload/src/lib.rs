@@ -1,0 +1,34 @@
+//! # noc-workload — PARSEC-class workload scalability model
+//!
+//! The gem5+PARSEC substitute of the [NoC-Sprinting (DAC 2014)]
+//! reproduction (substitution documented in DESIGN.md §2): each PARSEC 2.1
+//! benchmark is an analytic scalability profile calibrated to the
+//! qualitative classes of the paper's Fig. 4 — scalable, serial, and
+//! peak-then-degrade — and to the suite-level speedup aggregates of Fig. 7.
+//!
+//! - [`profile`] — the 13-benchmark roster with serial fraction,
+//!   parallelism limit, overhead slopes and NoC injection rates,
+//! - [`speedup`] — the execution-time law `T(n)`, optimal-core search, and
+//!   serial/parallel time breakdowns for power accounting.
+//!
+//! [NoC-Sprinting (DAC 2014)]: https://doi.org/10.1145/2593069.2593165
+//!
+//! ## Example
+//!
+//! ```
+//! use noc_workload::profile::by_name;
+//! use noc_workload::speedup::{ExecutionModel, OPTIMAL_TOLERANCE};
+//!
+//! let dedup = ExecutionModel::new(by_name("dedup").expect("in roster"));
+//! assert_eq!(dedup.optimal_cores(16, OPTIMAL_TOLERANCE), 4); // §4.4
+//! assert!(dedup.speedup(4) > dedup.speedup(16));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod profile;
+pub mod speedup;
+
+pub use profile::{by_name, parsec_suite, BenchmarkProfile, ScalabilityClass};
+pub use speedup::{ExecutionModel, TimeBreakdown, OPTIMAL_TOLERANCE};

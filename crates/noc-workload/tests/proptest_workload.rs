@@ -1,0 +1,100 @@
+//! Property-based tests of the workload execution-time law.
+
+use proptest::prelude::*;
+
+use noc_workload::profile::{parsec_suite, BenchmarkProfile, ScalabilityClass};
+use noc_workload::speedup::ExecutionModel;
+
+fn profile_strategy() -> impl Strategy<Value = BenchmarkProfile> {
+    (
+        0.0f64..=0.95,
+        1u32..=16,
+        0.0f64..=0.05,
+        0.0f64..=1.0,
+        0.01f64..=0.3,
+        0.0f64..=0.6,
+    )
+        .prop_map(|(s, l, a, g, inj, mem)| {
+            BenchmarkProfile::new(
+                "generated",
+                s,
+                l,
+                a,
+                g,
+                inj,
+                mem,
+                ScalabilityClass::PeakThenDegrade,
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn time_is_positive_and_normalized(profile in profile_strategy(), n in 1u32..=16) {
+        let m = ExecutionModel::new(profile);
+        prop_assert!((m.time(1) - 1.0).abs() < 1e-12, "T(1) must be 1");
+        prop_assert!(m.time(n) > 0.0);
+        prop_assert!(m.speedup(n) > 0.0);
+    }
+
+    #[test]
+    fn optimal_is_at_least_as_good_as_any_level(
+        profile in profile_strategy(),
+        probe in 1u32..=16,
+    ) {
+        let m = ExecutionModel::new(profile);
+        let opt = m.optimal_cores(16, 0.0);
+        prop_assert!(m.time(opt) <= m.time(probe) + 1e-12);
+    }
+
+    #[test]
+    fn tolerance_never_increases_the_chosen_level(
+        profile in profile_strategy(),
+        tol in 0.0f64..0.2,
+    ) {
+        let m = ExecutionModel::new(profile);
+        let strict = m.optimal_cores(16, 0.0);
+        let relaxed = m.optimal_cores(16, tol);
+        prop_assert!(relaxed <= strict, "tolerance must prefer fewer cores");
+        // And the relaxed choice really is within tolerance of the best.
+        prop_assert!(m.time(relaxed) <= m.time(strict) * (1.0 + tol) + 1e-12);
+    }
+
+    #[test]
+    fn breakdown_components_are_nonnegative_and_sum(
+        profile in profile_strategy(),
+        n in 1u32..=16,
+    ) {
+        let m = ExecutionModel::new(profile);
+        let bd = m.breakdown(n);
+        prop_assert!(bd.serial >= 0.0);
+        prop_assert!(bd.parallel >= 0.0);
+        prop_assert!((bd.total() - m.time(n)).abs() < 1e-12);
+        prop_assert!((bd.serial - profile.serial_fraction).abs() < 1e-12);
+    }
+
+    #[test]
+    fn amdahl_limit_bounds_speedup(profile in profile_strategy(), n in 1u32..=16) {
+        // No configuration may beat the pure-Amdahl bound for its own
+        // serial fraction (overheads only hurt).
+        let m = ExecutionModel::new(profile);
+        let s = profile.serial_fraction;
+        let amdahl = 1.0 / (s + (1.0 - s) / f64::from(n.min(profile.parallelism_limit)));
+        prop_assert!(m.speedup(n) <= amdahl + 1e-9);
+    }
+}
+
+#[test]
+fn roster_profiles_survive_the_generated_properties() {
+    // The hand-calibrated profiles satisfy the same invariants.
+    for b in parsec_suite() {
+        let m = ExecutionModel::new(b);
+        assert!((m.time(1) - 1.0).abs() < 1e-12);
+        let opt = m.optimal_cores(16, 0.0);
+        for n in 1..=16 {
+            assert!(m.time(opt) <= m.time(n) + 1e-12, "{}", b.name);
+        }
+    }
+}

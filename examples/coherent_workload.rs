@@ -1,0 +1,78 @@
+//! Coherent workload: closed-loop shared-L2 traffic over a sprint region.
+//!
+//! Table 1's system is a MESI CMP with a shared, tiled L2 — its network
+//! traffic is request/response *pairs*, not fire-and-forget packets. This
+//! example drives the cycle-level network with the LLC read-flow agent:
+//! single-flit requests ride virtual network 0, five-flit data responses
+//! ride vnet 1 (VC partitioning breaks protocol deadlock), and home banks
+//! are address-hashed over the active tiles.
+//!
+//! ```sh
+//! cargo run --release -p noc-sprinting-examples --bin coherent_workload
+//! ```
+
+use noc_sim::closed_loop::ClosedLoopSim;
+use noc_sim::network::Network;
+use noc_sim::router::RouterParams;
+use noc_sim::routing::XyRouting;
+use noc_sim::topology::Mesh2D;
+use noc_sprinting::cdor::CdorRouting;
+use noc_sprinting::llc::LlcAgent;
+use noc_sprinting::sprint_topology::SprintSet;
+use noc_sprinting_examples::section;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mesh = Mesh2D::paper_4x4();
+    let params = RouterParams::paper_two_vnets();
+    let level = 4;
+    let request_rate = 0.04; // L1 misses per core per cycle
+
+    section(&format!(
+        "L2 read flow: {level} cores at {request_rate} misses/core/cycle, 2 vnets"
+    ));
+
+    // NoC-sprinting: banks remapped onto the active region, CDOR, gating.
+    let set = SprintSet::paper(level);
+    let cores = set.active_nodes().to_vec();
+    let mut net = Network::new(mesh, params, Box::new(CdorRouting::new(&set)))?;
+    net.set_power_mask(set.mask());
+    let agent = LlcAgent::new(cores.clone(), cores.clone(), request_rate, 6, 42);
+    let mut sim = ClosedLoopSim::new(net, agent);
+    let stats = sim.run(30_000, 100_000)?;
+    let region = sim.agent().round_trips().clone();
+    println!(
+        "in-region banks:  {} transactions, mean RTT {:.1} cyc, p99 {} cyc",
+        region.count(),
+        region.mean().unwrap_or(f64::NAN),
+        region.quantile(0.99).unwrap_or(0),
+    );
+    println!(
+        "  (vnet deliveries: {} requests, {} responses over {} cycles)",
+        stats.delivered_per_vnet.first().copied().unwrap_or(0),
+        stats.delivered_per_vnet.get(1).copied().unwrap_or(0),
+        stats.cycles
+    );
+
+    // Full-sprinting: banks hashed over all 16 tiles, whole mesh powered.
+    let net = Network::new(mesh, params, Box::new(XyRouting))?;
+    let agent = LlcAgent::new(cores, mesh.nodes().collect(), request_rate, 6, 42);
+    let mut sim = ClosedLoopSim::new(net, agent);
+    sim.run(30_000, 100_000)?;
+    let spread = sim.agent().round_trips().clone();
+    println!(
+        "full-mesh banks:  {} transactions, mean RTT {:.1} cyc, p99 {} cyc",
+        spread.count(),
+        spread.mean().unwrap_or(f64::NAN),
+        spread.quantile(0.99).unwrap_or(0),
+    );
+
+    section("takeaway");
+    let cut = 1.0 - region.mean().unwrap() / spread.mean().unwrap();
+    println!(
+        "remapping the working set onto the sprint region cuts the L2 round trip by \
+         {:.0}% —",
+        cut * 100.0
+    );
+    println!("what a core actually feels from NoC-sprinting on every L1 miss.");
+    Ok(())
+}

@@ -1,0 +1,84 @@
+//! Datacenter burst responsiveness: the paper's motivating scenario.
+//!
+//! A latency-sensitive server mostly idles (nominal single-core mode) but
+//! receives short bursts of computation — here a randomized trace of jobs,
+//! each matching the parallelism profile of a PARSEC benchmark. The
+//! stateful [`SprintRuntime`] carries junction temperature and PCM melt
+//! state *across* jobs, so back-to-back bursts deplete the thermal budget
+//! and idle gaps refreeze it — the dynamics that decide how often the chip
+//! can actually sprint.
+//!
+//! ```sh
+//! cargo run --release -p noc-sprinting-examples --bin datacenter_burst
+//! ```
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use noc_sprinting::controller::SprintPolicy;
+use noc_sprinting::experiment::Experiment;
+use noc_sprinting::runtime::{SprintJob, SprintRuntime};
+use noc_sprinting_examples::section;
+use noc_workload::profile::parsec_suite;
+
+fn synthesize_trace(n_jobs: usize, seed: u64) -> Vec<SprintJob> {
+    let suite = parsec_suite();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut arrival = 0.0;
+    (0..n_jobs)
+        .map(|_| {
+            // Bursty arrivals: a new job every 0.5-6 s.
+            arrival += rng.gen_range(0.5..6.0);
+            SprintJob {
+                profile: suite[rng.gen_range(0..suite.len())],
+                // Short bursts: 0.5 - 4.0 s of single-core work.
+                serial_seconds: rng.gen_range(0.5..4.0),
+                arrival,
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let trace = synthesize_trace(30, 2024);
+    section(&format!(
+        "replaying {} bursty jobs (arrivals over ~{:.0} s) under each policy",
+        trace.len(),
+        trace.last().map_or(0.0, |j| j.arrival)
+    ));
+
+    println!(
+        "{:<26} {:>11} {:>12} {:>12} {:>13} {:>10}",
+        "policy", "mean turn.", "p95 turn.", "cutoffs", "chip energy", "end melt"
+    );
+    for policy in SprintPolicy::ALL {
+        let mut rt = SprintRuntime::new(Experiment::paper(), policy);
+        let mut turnarounds = Vec::new();
+        let mut cutoffs = 0;
+        let mut energy = 0.0;
+        for job in &trace {
+            let r = rt.process(job);
+            turnarounds.push(r.turnaround(job.arrival));
+            cutoffs += usize::from(r.thermally_limited());
+            energy += r.energy;
+        }
+        turnarounds.sort_by(f64::total_cmp);
+        let mean = turnarounds.iter().sum::<f64>() / turnarounds.len() as f64;
+        let p95 = turnarounds[(turnarounds.len() * 95 / 100).min(turnarounds.len() - 1)];
+        println!(
+            "{:<26} {:>9.2} s {:>10.2} s {:>12} {:>11.0} J {:>9.0}%",
+            policy.name(),
+            mean,
+            p95,
+            cutoffs,
+            energy,
+            rt.melt_fraction() * 100.0
+        );
+    }
+
+    section("takeaway");
+    println!("full-sprinting burns the PCM budget on jobs that cannot use 16 cores and");
+    println!("pays thermal cutoffs on the tail; NoC-sprinting gives each job just the");
+    println!("parallelism it can exploit, so the same trace finishes faster, cooler,");
+    println!("and at a fraction of the energy.");
+}

@@ -1,0 +1,15 @@
+//! Shared helpers for the NoC-Sprinting examples.
+//!
+//! The runnable binaries live next to this file:
+//!
+//! - `quickstart` — the five-minute tour of the public API,
+//! - `datacenter_burst` — policy comparison over a bursty job trace,
+//! - `thermal_budgeting` — picking the best *thermally feasible* sprint
+//!   level for a job,
+//! - `irregular_mesh_explorer` — sprint regions, CDOR paths and deadlock
+//!   checks on larger meshes.
+
+/// Prints a section header used by all examples.
+pub fn section(title: &str) {
+    println!("\n=== {title} ===");
+}
