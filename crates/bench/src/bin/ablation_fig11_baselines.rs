@@ -15,9 +15,16 @@
 //! than 4 random endpoints, so it actually saturates later than the
 //! random-endpoints baseline). Latency/power benefits appear under both.
 
-use noc_bench::{banner, markdown_table, mean};
+use noc_bench::{banner, markdown_table, mean, FigureHarness};
 use noc_sim::traffic::TrafficPattern;
 use noc_sprinting::experiment::Experiment;
+use noc_sprinting::runner::{SyntheticBaseline, SyntheticJob};
+
+const SAMPLES: u64 = 6;
+
+fn rates() -> Vec<f64> {
+    (10..=90).step_by(16).map(|p| f64::from(p) / 100.0).collect()
+}
 
 fn main() {
     print!(
@@ -29,31 +36,46 @@ fn main() {
         )
     );
     let e = Experiment::paper();
+    let harness = FigureHarness::new();
     for level in [4usize, 8] {
         println!("--- {level}-core sprinting ---");
-        let mut rows = Vec::new();
-        for pct_rate in (10..=90).step_by(16) {
-            let rate = f64::from(pct_rate) / 100.0;
-            let ns = e
-                .run_synthetic(level, true, TrafficPattern::UniformRandom, rate, 42)
-                .expect("NoC-sprinting point");
-            let mut ep_lat = Vec::new();
-            let mut ep_sat = 0;
-            let mut sp_lat = Vec::new();
-            let mut sp_sat = 0;
-            for s in 0..6 {
-                let m = e
-                    .run_synthetic(level, false, TrafficPattern::UniformRandom, rate, s)
-                    .expect("random-endpoints sample");
-                ep_lat.push(m.avg_network_latency);
-                ep_sat += usize::from(m.saturated);
-                let m = e
-                    .run_synthetic_spread(level, TrafficPattern::UniformRandom, rate, s)
-                    .expect("spread sample");
-                sp_lat.push(m.avg_network_latency);
-                sp_sat += usize::from(m.saturated);
+        // Per rate: one NoC-sprinting point, then SAMPLES random-endpoints
+        // samples, then SAMPLES spread samples.
+        let mut jobs = Vec::new();
+        for &rate in &rates() {
+            let point = |seed, baseline| SyntheticJob {
+                level,
+                pattern: TrafficPattern::UniformRandom,
+                rate,
+                seed,
+                baseline,
+            };
+            jobs.push(point(42, SyntheticBaseline::NocSprinting));
+            for s in 0..SAMPLES {
+                jobs.push(point(s, SyntheticBaseline::RandomEndpoints));
             }
-            let tag = |sat: usize| if sat > 0 { format!(" (sat {sat}/6)") } else { String::new() };
+            for s in 0..SAMPLES {
+                jobs.push(point(s, SyntheticBaseline::SpreadAggregate));
+            }
+        }
+        let metrics = harness.run(&e, &jobs).expect("baseline ablation points");
+
+        let mut rows = Vec::new();
+        let per_rate = 1 + 2 * SAMPLES as usize;
+        for (rate, chunk) in rates().iter().zip(metrics.chunks(per_rate)) {
+            let ns = chunk[0];
+            let (ep, sp) = chunk[1..].split_at(SAMPLES as usize);
+            let ep_lat: Vec<f64> = ep.iter().map(|m| m.avg_network_latency).collect();
+            let ep_sat = ep.iter().filter(|m| m.saturated).count();
+            let sp_lat: Vec<f64> = sp.iter().map(|m| m.avg_network_latency).collect();
+            let sp_sat = sp.iter().filter(|m| m.saturated).count();
+            let tag = |sat: usize| {
+                if sat > 0 {
+                    format!(" (sat {sat}/{SAMPLES})")
+                } else {
+                    String::new()
+                }
+            };
             rows.push(vec![
                 format!("{rate:.2}"),
                 format!(
@@ -78,4 +100,5 @@ fn main() {
             )
         );
     }
+    eprintln!("{}", harness.summary());
 }

@@ -7,10 +7,11 @@
 //! favors a center master; memory-controller traffic favors the corner
 //! master; thermal spreading is placement-sensitive too.
 
-use noc_bench::{banner, markdown_table};
+use noc_bench::{banner, markdown_table, workers_from_env};
 use noc_sim::geometry::NodeId;
 use noc_sim::topology::Mesh2D;
 use noc_sprinting::floorplan::Floorplan;
+use noc_sprinting::runner::ExperimentRunner;
 use noc_sprinting::sprint_topology::SprintSet;
 use noc_thermal::grid::ThermalGrid;
 
@@ -62,10 +63,14 @@ fn main() {
         ("edge (node 2)", NodeId(2)),
         ("far corner (node 15)", NodeId(15)),
     ];
+    let runner = match workers_from_env() {
+        Some(w) => ExperimentRunner::with_workers(w),
+        None => ExperimentRunner::new(),
+    };
     for level in [4usize, 8] {
         println!("--- {level}-core sprinting ---");
-        let mut rows = Vec::new();
-        for (label, master) in candidates {
+        // Each candidate's thermal solves are independent; fan them out.
+        let rows = runner.run(&candidates, |_, &(label, master)| {
             let set = SprintSet::new(mesh, master, level);
             // Thermal: active tiles at 3.7 W, dark at 0.08 W, identity plan.
             let mut power = vec![0.08; 16];
@@ -75,14 +80,14 @@ fn main() {
             let peak_identity = grid.steady_state(&power).peak().1;
             let plan = Floorplan::thermal_aware(&set);
             let peak_planned = grid.steady_state(&plan.physical_power(&power)).peak().1;
-            rows.push(vec![
+            vec![
                 label.to_string(),
                 format!("{:.2}", mean_intra(&set)),
                 format!("{:.2}", mean_hops_to_mc(&set)),
                 format!("{peak_identity:.1} K"),
                 format!("{peak_planned:.1} K"),
-            ]);
-        }
+            ]
+        });
         println!(
             "{}",
             markdown_table(

@@ -7,13 +7,14 @@
 //! `1 + ceil(physical length)` cycles instead of the uniform 2, and the
 //! sprint traffic is replayed.
 
-use noc_bench::{banner, markdown_table};
+use noc_bench::{banner, markdown_table, workers_from_env};
 use noc_sim::network::Network;
 use noc_sim::sim::{SimConfig, Simulation};
 use noc_sim::traffic::{Placement, TrafficGen, TrafficPattern};
 use noc_sprinting::cdor::CdorRouting;
 use noc_sprinting::config::SystemConfig;
 use noc_sprinting::floorplan::Floorplan;
+use noc_sprinting::runner::ExperimentRunner;
 use noc_sprinting::sprint_topology::SprintSet;
 
 fn run(level: usize, smart: bool, rate: f64) -> f64 {
@@ -53,10 +54,20 @@ fn main() {
         )
     );
     let rate = 0.15;
+    let runner = match workers_from_env() {
+        Some(w) => ExperimentRunner::with_workers(w),
+        None => ExperimentRunner::new(),
+    };
+    // Each (level, smart) point builds its own network, so the six
+    // simulations fan out through the pool.
+    let points: Vec<(usize, bool)> = [4usize, 8, 16]
+        .iter()
+        .flat_map(|&level| [(level, true), (level, false)])
+        .collect();
+    let latencies = runner.run(&points, |_, &(level, smart)| run(level, smart, rate));
     let mut rows = Vec::new();
-    for level in [4usize, 8, 16] {
-        let with_smart = run(level, true, rate);
-        let without = run(level, false, rate);
+    for (chunk, level) in latencies.chunks(2).zip([4usize, 8, 16]) {
+        let (with_smart, without) = (chunk[0], chunk[1]);
         rows.push(vec![
             format!("{level}-core"),
             format!("{with_smart:.1}"),

@@ -7,9 +7,10 @@
 //! CDOR's latency advantage and deadlock freedom are not
 //! uniform-random artifacts.
 
-use noc_bench::{banner, markdown_table};
+use noc_bench::{banner, markdown_table, FigureHarness};
 use noc_sim::traffic::TrafficPattern;
 use noc_sprinting::experiment::Experiment;
+use noc_sprinting::runner::{SyntheticBaseline, SyntheticJob};
 
 fn main() {
     print!(
@@ -22,6 +23,7 @@ fn main() {
         )
     );
     let e = Experiment::paper();
+    let harness = FigureHarness::new();
     let rate = 0.15;
     for level in [4usize, 8, 16] {
         println!("--- {level}-core sprinting at {rate} flits/cyc/node ---");
@@ -34,8 +36,32 @@ fn main() {
             ("hotspot->master", TrafficPattern::Hotspot { hot_fraction: 0.4 }),
             ("nearest-neighbor", TrafficPattern::NearestNeighbor),
         ];
+        // Two jobs (NoC-sprinting, spread full-sprinting) per valid pattern.
+        let valid: Vec<&(&str, TrafficPattern)> = patterns
+            .iter()
+            .filter(|(_, p)| p.validate(level).is_ok())
+            .collect();
+        let jobs: Vec<SyntheticJob> = valid
+            .iter()
+            .flat_map(|&&(_, pattern)| {
+                [
+                    SyntheticBaseline::NocSprinting,
+                    SyntheticBaseline::SpreadAggregate,
+                ]
+                .map(|baseline| SyntheticJob {
+                    level,
+                    pattern,
+                    rate,
+                    seed: 21,
+                    baseline,
+                })
+            })
+            .collect();
+        let metrics = harness.run(&e, &jobs).expect("pattern ablation points");
+        let mut results = valid.iter().zip(metrics.chunks(2));
+
         let mut rows = Vec::new();
-        for (name, p) in patterns {
+        for (name, p) in &patterns {
             if p.validate(level).is_err() {
                 rows.push(vec![
                     name.to_string(),
@@ -45,12 +71,8 @@ fn main() {
                 ]);
                 continue;
             }
-            let ns = e
-                .run_synthetic(level, true, p, rate, 21)
-                .expect("NoC-sprinting run");
-            let full = e
-                .run_synthetic_spread(level, p, rate, 21)
-                .expect("spread full-sprinting run");
+            let (_, chunk) = results.next().expect("one result pair per valid pattern");
+            let (ns, full) = (chunk[0], chunk[1]);
             rows.push(vec![
                 name.to_string(),
                 format!(
@@ -82,4 +104,5 @@ fn main() {
             )
         );
     }
+    eprintln!("{}", harness.summary());
 }

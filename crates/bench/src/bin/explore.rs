@@ -4,21 +4,26 @@
 //! ```text
 //! explore [--mesh WxH] [--master N] [--level K] [--rate R]
 //!         [--pattern uniform|transpose|bitcomp|tornado|shuffle|hotspot|neighbor]
-//!         [--full] [--seed S]
+//!         [--full] [--seed S] [--loads R1,R2,...] [--workers W]
 //! ```
 //!
 //! By default: paper 4x4 mesh, master 0, level 4, uniform at 0.1
 //! flits/cycle/node under NoC-sprinting (CDOR + gating); `--full` runs the
-//! fully powered mesh with XY routing instead.
+//! fully powered mesh with XY routing instead. `--loads` switches from a
+//! single operating point to a latency-vs-load sweep executed on the
+//! parallel `ExperimentRunner` (`--workers 1` forces the serial path; the
+//! curve is bit-identical at any worker count).
 
 use noc_sim::geometry::NodeId;
 use noc_sim::network::Network;
-use noc_sim::routing::XyRouting;
+use noc_sim::routing::{RoutingFunction, XyRouting};
 use noc_sim::sim::{SimConfig, Simulation};
+use noc_sim::sweep::LoadSweep;
 use noc_sim::topology::Mesh2D;
 use noc_sim::traffic::{Placement, TrafficGen, TrafficPattern};
 use noc_sprinting::cdor::CdorRouting;
 use noc_sprinting::config::SystemConfig;
+use noc_sprinting::runner::ExperimentRunner;
 use noc_sprinting::sprint_topology::SprintSet;
 
 #[derive(Debug)]
@@ -31,6 +36,8 @@ struct Args {
     pattern: TrafficPattern,
     full: bool,
     seed: u64,
+    loads: Option<Vec<f64>>,
+    workers: Option<usize>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -43,6 +50,8 @@ fn parse_args() -> Result<Args, String> {
         pattern: TrafficPattern::UniformRandom,
         full: false,
         seed: 1,
+        loads: None,
+        workers: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -66,6 +75,23 @@ fn parse_args() -> Result<Args, String> {
             "--level" => args.level = take(&mut i)?.parse().map_err(|e| format!("{e}"))?,
             "--rate" => args.rate = take(&mut i)?.parse().map_err(|e| format!("{e}"))?,
             "--seed" => args.seed = take(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--workers" => {
+                let w: usize = take(&mut i)?.parse().map_err(|e| format!("{e}"))?;
+                if w == 0 {
+                    return Err("--workers must be at least 1".into());
+                }
+                args.workers = Some(w);
+            }
+            "--loads" => {
+                let loads = take(&mut i)?
+                    .split(',')
+                    .map(|s| s.trim().parse::<f64>().map_err(|e| format!("bad load: {e}")))
+                    .collect::<Result<Vec<f64>, String>>()?;
+                if loads.is_empty() || loads.iter().any(|&l| !(l > 0.0 && l <= 1.0)) {
+                    return Err("loads must be in (0, 1]".into());
+                }
+                args.loads = Some(loads);
+            }
             "--full" => args.full = true,
             "--pattern" => {
                 args.pattern = match take(&mut i)?.as_str() {
@@ -81,7 +107,8 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 return Err("usage: explore [--mesh WxH] [--master N] [--level K] \
-                            [--rate R] [--pattern P] [--full] [--seed S]"
+                            [--rate R] [--pattern P] [--full] [--seed S] \
+                            [--loads R1,R2,...] [--workers W]"
                     .into())
             }
             other => return Err(format!("unknown flag {other} (try --help)")),
@@ -123,6 +150,11 @@ fn main() {
         args.rate,
         format_args!("pattern {:?}", args.pattern),
     );
+
+    if let Some(loads) = args.loads.clone() {
+        run_sweep_mode(&args, mesh, &set, loads);
+        return;
+    }
 
     let (net, placement) = if args.full {
         (
@@ -174,4 +206,79 @@ fn main() {
             std::process::exit(1);
         }
     }
+}
+
+/// `--loads` mode: a latency-vs-load sweep over the parallel runner.
+fn run_sweep_mode(args: &Args, mesh: Mesh2D, set: &SprintSet, loads: Vec<f64>) {
+    let sys = SystemConfig::paper();
+    let runner = match args.workers {
+        Some(w) => ExperimentRunner::with_workers(w),
+        None => ExperimentRunner::new(),
+    };
+    let sweep = LoadSweep {
+        mesh,
+        params: sys.router,
+        pattern: args.pattern,
+        packet_len: sys.packet_len,
+        loads,
+        sim_config: SimConfig::sweep(),
+        seed: args.seed,
+    };
+    let report = if args.full {
+        runner.run_sweep(&sweep, &Placement::full(&mesh), || {
+            Box::new(XyRouting) as Box<dyn RoutingFunction>
+        })
+    } else {
+        let placement =
+            Placement::new(set.active_nodes().to_vec(), &mesh).expect("placement");
+        runner.run_sweep(&sweep, &placement, || {
+            Box::new(CdorRouting::new(set)) as Box<dyn RoutingFunction>
+        })
+    };
+    let report = match report {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("sweep failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "{:>8} {:>14} {:>14} {:>10} {:>5}",
+        "offered", "pkt lat (cyc)", "net lat (cyc)", "accepted", "sat"
+    );
+    for p in &report.points {
+        println!(
+            "{:8.3} {:14.2} {:14.2} {:10.3} {:>5}",
+            p.offered,
+            p.packet_latency,
+            p.network_latency,
+            p.accepted,
+            if p.saturated { "yes" } else { "no" }
+        );
+    }
+    println!(
+        "zero-load latency: {}",
+        report
+            .zero_load_latency()
+            .map_or("-".to_string(), |v| format!("{v:.2} cyc"))
+    );
+    println!(
+        "saturation onset:  {}",
+        report
+            .saturation_onset()
+            .map_or("none in sweep".to_string(), |v| format!("{v:.3}"))
+    );
+    println!(
+        "peak accepted:     {}",
+        report
+            .peak_accepted()
+            .map_or("-".to_string(), |v| format!("{v:.3} flits/cyc/node"))
+    );
+    let snap = runner.progress().snapshot();
+    eprintln!(
+        "[{} points on {} workers, busy {:.2?}]",
+        snap.completed,
+        runner.workers(),
+        snap.busy
+    );
 }

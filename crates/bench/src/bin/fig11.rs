@@ -7,15 +7,24 @@
 //! matched to the sprint configuration; results are averaged over ten
 //! samples (seeds). The x-axis is flits/cycle per *active sprint node*.
 //!
+//! Every operating point is independent, so the whole figure fans out
+//! through the parallel `ExperimentRunner` (set `NOC_BENCH_WORKERS=1` for
+//! the serial path — the numbers are bit-identical either way).
+//!
 //! Paper: pre-saturation latency cut 45.1% (4-core) / 16.1% (8-core);
 //! power cut 62.1% / 25.9%; NoC-sprinting saturates earlier, which is
 //! irrelevant at PARSEC's < 0.3 flits/cycle loads.
 
-use noc_bench::{banner, markdown_table, mean, pct, reduction};
+use noc_bench::{banner, markdown_table, mean, pct, reduction, FigureHarness};
 use noc_sim::traffic::TrafficPattern;
 use noc_sprinting::experiment::Experiment;
+use noc_sprinting::runner::{SyntheticBaseline, SyntheticJob};
 
 const SAMPLES: u64 = 10;
+
+fn rates() -> Vec<f64> {
+    (4..=95).step_by(7).map(|p| f64::from(p) / 100.0).collect()
+}
 
 fn main() {
     print!(
@@ -28,31 +37,45 @@ fn main() {
         )
     );
     let e = Experiment::paper();
+    let harness = FigureHarness::new();
     for level in [4usize, 8] {
         println!("--- {level}-core sprinting ---");
+        // One NoC-sprinting point plus SAMPLES spread samples per rate, as a
+        // single batch for the worker pool.
+        let mut jobs = Vec::new();
+        for &rate in &rates() {
+            jobs.push(SyntheticJob {
+                level,
+                pattern: TrafficPattern::UniformRandom,
+                rate,
+                seed: 42,
+                baseline: SyntheticBaseline::NocSprinting,
+            });
+            for s in 0..SAMPLES {
+                jobs.push(SyntheticJob {
+                    level,
+                    pattern: TrafficPattern::UniformRandom,
+                    rate,
+                    seed: s,
+                    baseline: SyntheticBaseline::SpreadAggregate,
+                });
+            }
+        }
+        let metrics = harness.run(&e, &jobs).expect("Fig. 11 points");
+
         let mut rows = Vec::new();
         let mut lat_cuts = Vec::new();
         let mut pow_cuts = Vec::new();
         let mut ns_sat_rate = None;
         let mut full_sat_rate = None;
-        for pct_rate in (4..=95).step_by(7) {
-            let rate = f64::from(pct_rate) / 100.0;
-            let ns = e
-                .run_synthetic(level, true, TrafficPattern::UniformRandom, rate, 42)
-                .expect("NoC-sprinting point");
-            let mut full_lat = Vec::new();
-            let mut full_pow = Vec::new();
-            let mut full_sat = 0;
-            for s in 0..SAMPLES {
-                let m = e
-                    .run_synthetic_spread(level, TrafficPattern::UniformRandom, rate, s)
-                    .expect("full-sprinting sample");
-                full_lat.push(m.avg_network_latency);
-                full_pow.push(m.network_power);
-                if m.saturated {
-                    full_sat += 1;
-                }
-            }
+        let per_rate = 1 + SAMPLES as usize;
+        for (rate, chunk) in rates().iter().zip(metrics.chunks(per_rate)) {
+            let rate = *rate;
+            let ns = chunk[0];
+            let samples = &chunk[1..];
+            let full_lat: Vec<f64> = samples.iter().map(|m| m.avg_network_latency).collect();
+            let full_pow: Vec<f64> = samples.iter().map(|m| m.network_power).collect();
+            let full_sat = samples.iter().filter(|m| m.saturated).count() as u64;
             let fl = mean(&full_lat);
             let fp = mean(&full_pow);
             if ns.saturated && ns_sat_rate.is_none() {
@@ -113,4 +136,5 @@ fn main() {
     }
     println!("note: PARSEC average injection never exceeds 0.3 flits/cycle (paper §4.3),");
     println!("so the earlier saturation of the sprint region does not bite in practice.");
+    eprintln!("{}", harness.summary());
 }

@@ -10,11 +10,12 @@
 //! - Fig. 9/10-style latency and power for intermediate sprint levels,
 //! - convexity/deadlock guarantees (already property-tested to 8x8).
 
-use noc_bench::{banner, markdown_table, pct, reduction, watts};
+use noc_bench::{banner, markdown_table, pct, reduction, watts, FigureHarness};
 use noc_sim::traffic::TrafficPattern;
 use noc_sprinting::config::SystemConfig;
 use noc_sprinting::controller::SprintController;
 use noc_sprinting::experiment::Experiment;
+use noc_sprinting::runner::{SyntheticBaseline, SyntheticJob};
 use noc_sim::geometry::NodeId;
 
 fn experiment_8x8() -> Experiment {
@@ -40,15 +41,29 @@ fn main() {
     );
     let e = experiment_8x8();
     assert!(e.system.is_consistent());
+    let harness = FigureHarness::new();
     let rate = 0.15;
+    let levels = [4usize, 8, 16, 32, 64];
+    let jobs: Vec<SyntheticJob> = levels
+        .iter()
+        .flat_map(|&level| {
+            [
+                SyntheticBaseline::NocSprinting,
+                SyntheticBaseline::SpreadAggregate,
+            ]
+            .map(|baseline| SyntheticJob {
+                level,
+                pattern: TrafficPattern::UniformRandom,
+                rate,
+                seed: 5,
+                baseline,
+            })
+        })
+        .collect();
+    let metrics = harness.run(&e, &jobs).expect("scale-study points");
     let mut rows = Vec::new();
-    for level in [4usize, 8, 16, 32, 64] {
-        let ns = e
-            .run_synthetic(level, true, TrafficPattern::UniformRandom, rate, 5)
-            .expect("NoC-sprinting point");
-        let full = e
-            .run_synthetic_spread(level, TrafficPattern::UniformRandom, rate, 5)
-            .expect("full baseline");
+    for (level, chunk) in levels.iter().zip(metrics.chunks(2)) {
+        let (ns, full) = (chunk[0], chunk[1]);
         rows.push(vec![
             format!("{level}/64 cores"),
             format!("{:.1}", ns.avg_network_latency),
@@ -77,4 +92,5 @@ fn main() {
     println!("on the bigger chip the dark fraction at a given level is larger, so the");
     println!("power savings exceed the 4x4 numbers at matched levels, while latency");
     println!("benefits follow the same level-inverse trend as Fig. 11.");
+    eprintln!("{}", harness.summary());
 }

@@ -3,11 +3,96 @@
 //! Each `fig*`/`tab*` binary prints the rows or series of one of the
 //! paper's evaluation artifacts; `all_figures` runs everything and is used
 //! to refresh EXPERIMENTS.md. The helpers here keep the output format
-//! uniform (markdown tables, percent deltas) across binaries.
+//! uniform (markdown tables, percent deltas) across binaries, and
+//! [`FigureHarness`] gives every binary the same parallel, cached,
+//! deterministic execution path over the `ExperimentRunner`.
 
 #![warn(missing_docs)]
 
 use std::fmt::Write as _;
+use std::time::Instant;
+
+use noc_sim::error::SimError;
+use noc_sprinting::experiment::{Experiment, NetworkMetrics};
+use noc_sprinting::runner::{ExperimentRunner, ResultCache, SyntheticJob};
+
+/// Worker-count override for the figure binaries: `NOC_BENCH_WORKERS=1`
+/// forces the serial path (useful for timing comparisons), unset or invalid
+/// means one worker per hardware thread.
+pub fn workers_from_env() -> Option<usize> {
+    std::env::var("NOC_BENCH_WORKERS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&w| w > 0)
+}
+
+/// The execution context shared by the figure/ablation binaries: a
+/// deterministic parallel [`ExperimentRunner`] plus a [`ResultCache`] so a
+/// point that several tables share is simulated once.
+///
+/// Results are bit-identical at any worker count — per-point seeds are
+/// derived from configuration, never from execution order.
+#[derive(Debug)]
+pub struct FigureHarness {
+    runner: ExperimentRunner,
+    cache: ResultCache<NetworkMetrics>,
+    started: Instant,
+}
+
+impl Default for FigureHarness {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FigureHarness {
+    /// A harness honoring the `NOC_BENCH_WORKERS` override.
+    pub fn new() -> Self {
+        let runner = match workers_from_env() {
+            Some(w) => ExperimentRunner::with_workers(w),
+            None => ExperimentRunner::new(),
+        };
+        FigureHarness {
+            runner,
+            cache: ResultCache::new(),
+            started: Instant::now(),
+        }
+    }
+
+    /// The underlying runner (for generic [`ExperimentRunner::run`] /
+    /// [`ExperimentRunner::run_sweep`] fan-outs).
+    pub fn runner(&self) -> &ExperimentRunner {
+        &self.runner
+    }
+
+    /// Runs a batch of synthetic operating points through the pool and the
+    /// cache; results come back in job order.
+    ///
+    /// # Errors
+    ///
+    /// The lowest-indexed failing job's simulator error.
+    pub fn run(
+        &self,
+        experiment: &Experiment,
+        jobs: &[SyntheticJob],
+    ) -> Result<Vec<NetworkMetrics>, SimError> {
+        self.runner.run_synthetic_jobs(experiment, jobs, Some(&self.cache))
+    }
+
+    /// One-line execution report (point count, cache hits, workers, wall
+    /// and busy time) for the binary to print on stderr.
+    pub fn summary(&self) -> String {
+        let snap = self.runner.progress().snapshot();
+        format!(
+            "[{} points ({} cache hits) on {} workers: wall {:.2?}, busy {:.2?}]",
+            snap.completed,
+            self.cache.hits(),
+            self.runner.workers(),
+            self.started.elapsed(),
+            snap.busy,
+        )
+    }
+}
 
 /// Renders a markdown table.
 ///

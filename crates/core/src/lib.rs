@@ -28,6 +28,9 @@
 //! - [`experiment`] — end-to-end runners reproducing the paper's
 //!   evaluation figures on the `noc-sim` / `noc-power` / `noc-thermal` /
 //!   `noc-workload` substrates,
+//! - [`runner`] — a deterministic parallel [`runner::ExperimentRunner`]
+//!   that fans independent operating points across a thread pool with
+//!   bit-identical-to-serial results,
 //! - [`config`] — the Table 1 system configuration.
 //!
 //! [DOI 10.1145/2593069.2593165]: https://doi.org/10.1145/2593069.2593165
@@ -64,6 +67,7 @@ pub mod experiment;
 pub mod floorplan;
 pub mod gating;
 pub mod llc;
+pub mod runner;
 pub mod runtime;
 pub mod sprint_topology;
 
@@ -77,5 +81,6 @@ pub use experiment::{Experiment, NetworkMetrics, ThermalVariant};
 pub use floorplan::Floorplan;
 pub use gating::GatingPlan;
 pub use llc::LlcAgent;
+pub use runner::{ExperimentRunner, ResultCache, RunnerProgress, SyntheticBaseline, SyntheticJob};
 pub use runtime::{JobRecord, SprintJob, SprintRuntime};
 pub use sprint_topology::{sprint_order, SprintSet};

@@ -1,0 +1,516 @@
+//! Deterministic parallel experiment execution.
+//!
+//! Every figure, ablation and sweep in this reproduction decomposes into
+//! independent operating points: a point builds its own network, traffic
+//! generator and routing function, and its RNG seed is a pure function of
+//! `(base_seed, point_index)` ([`noc_sim::sweep::point_seed`]). The
+//! [`ExperimentRunner`] exploits that: it fans points out across a
+//! `std::thread::scope` worker pool and reassembles results **in input
+//! order**, so parallel output is bit-identical to the serial path at any
+//! worker count.
+//!
+//! Three layers:
+//!
+//! - [`ExperimentRunner::run`] / [`ExperimentRunner::try_run`] — generic
+//!   order-preserving parallel map over a slice,
+//! - [`ExperimentRunner::run_sweep`] — a [`LoadSweep`] driven point-by-point
+//!   through the pool,
+//! - [`ExperimentRunner::run_synthetic_jobs`] — the Fig. 11 / ablation
+//!   fan-out over [`SyntheticJob`] operating points, with an optional
+//!   [`ResultCache`] so repeated figure runs skip already-simulated points.
+//!
+//! Progress is observable through [`RunnerProgress`]: completed/total
+//! counters and accumulated per-point busy time, readable from another
+//! thread while a long sweep runs.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use noc_sim::error::SimError;
+use noc_sim::routing::RoutingFunction;
+use noc_sim::sweep::{LoadSweep, SweepReport};
+use noc_sim::traffic::{Placement, TrafficPattern};
+
+use crate::experiment::{Experiment, NetworkMetrics};
+
+/// Live counters for an in-flight (or finished) batch of experiment points.
+///
+/// Shared by cloning the [`Arc`] out of [`ExperimentRunner::progress`];
+/// totals accumulate across batches run on the same runner.
+#[derive(Debug, Default)]
+pub struct RunnerProgress {
+    scheduled: AtomicUsize,
+    completed: AtomicUsize,
+    busy_nanos: AtomicU64,
+}
+
+/// A point-in-time view of [`RunnerProgress`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProgressSnapshot {
+    /// Points handed to the pool so far.
+    pub scheduled: usize,
+    /// Points finished so far.
+    pub completed: usize,
+    /// Total busy time across workers (sum of per-point wall-clock).
+    pub busy: Duration,
+}
+
+impl RunnerProgress {
+    fn begin(&self, n: usize) {
+        self.scheduled.fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn record(&self, elapsed: Duration) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.busy_nanos
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Reads the current counters.
+    pub fn snapshot(&self) -> ProgressSnapshot {
+        ProgressSnapshot {
+            scheduled: self.scheduled.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            busy: Duration::from_nanos(self.busy_nanos.load(Ordering::Relaxed)),
+        }
+    }
+
+    /// Mean busy time per completed point, if any completed.
+    pub fn mean_point_time(&self) -> Option<Duration> {
+        let s = self.snapshot();
+        (s.completed > 0).then(|| s.busy / s.completed as u32)
+    }
+}
+
+/// An order-preserving parallel map over independent experiment points.
+#[derive(Debug)]
+pub struct ExperimentRunner {
+    workers: usize,
+    progress: Arc<RunnerProgress>,
+    echo: Option<String>,
+}
+
+impl Default for ExperimentRunner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ExperimentRunner {
+    /// A runner with one worker per available hardware thread.
+    pub fn new() -> Self {
+        let workers = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        Self::with_workers(workers)
+    }
+
+    /// A runner with exactly `workers` worker threads (1 = serial).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn with_workers(workers: usize) -> Self {
+        assert!(workers > 0, "runner needs at least one worker");
+        ExperimentRunner {
+            workers,
+            progress: Arc::new(RunnerProgress::default()),
+            echo: None,
+        }
+    }
+
+    /// Prints `label: completed/scheduled (point in Xms)` to stderr as
+    /// points finish — observability for long sweeps.
+    #[must_use]
+    pub fn with_echo(mut self, label: impl Into<String>) -> Self {
+        self.echo = Some(label.into());
+        self
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The shared progress counters (clone the `Arc` to watch from another
+    /// thread).
+    pub fn progress(&self) -> &Arc<RunnerProgress> {
+        &self.progress
+    }
+
+    /// Parallel map: applies `f` to every item and returns outputs in input
+    /// order. `f(i, item)` must be a pure function of its arguments for the
+    /// result to be deterministic — all experiment points in this workspace
+    /// are (seeds derive from indices, never from shared state).
+    pub fn run<I, O, F>(&self, items: &[I], f: F) -> Vec<O>
+    where
+        I: Sync,
+        O: Send,
+        F: Fn(usize, &I) -> O + Sync,
+    {
+        let res: Result<Vec<O>, std::convert::Infallible> =
+            self.try_run(items, |i, item| Ok(f(i, item)));
+        match res {
+            Ok(v) => v,
+            Err(e) => match e {},
+        }
+    }
+
+    /// Fallible parallel map. On failure returns the error of the
+    /// **lowest-indexed** failing item — not whichever thread lost the race
+    /// — so error reporting is deterministic too.
+    ///
+    /// # Errors
+    ///
+    /// The first (by input order) error produced by `f`.
+    pub fn try_run<I, O, E, F>(&self, items: &[I], f: F) -> Result<Vec<O>, E>
+    where
+        I: Sync,
+        O: Send,
+        E: Send,
+        F: Fn(usize, &I) -> Result<O, E> + Sync,
+    {
+        let n = items.len();
+        self.progress.begin(n);
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        let results: Vec<Mutex<Option<Result<O, E>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let workers = self.workers.min(n);
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let start = Instant::now();
+                    let out = f(i, &items[i]);
+                    let elapsed = start.elapsed();
+                    self.progress.record(elapsed);
+                    if let Some(label) = &self.echo {
+                        let snap = self.progress.snapshot();
+                        eprintln!(
+                            "{label}: {}/{} (point {i} in {:.0?})",
+                            snap.completed, snap.scheduled, elapsed
+                        );
+                    }
+                    *results[i].lock().expect("result cell poisoned") = Some(out);
+                });
+            }
+        });
+        let mut out = Vec::with_capacity(n);
+        for (i, cell) in results.into_iter().enumerate() {
+            match cell.into_inner().expect("result cell poisoned") {
+                Some(Ok(v)) => out.push(v),
+                Some(Err(e)) => return Err(e),
+                None => unreachable!("worker pool dropped item {i}"),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Runs a [`LoadSweep`] through the pool: each operating point is an
+    /// independent simulation ([`LoadSweep::run_point`]), so the report is
+    /// bit-identical to [`LoadSweep::run`] at any worker count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the lowest-indexed point's simulator error.
+    pub fn run_sweep<F>(
+        &self,
+        sweep: &LoadSweep,
+        placement: &Placement,
+        make_routing: F,
+    ) -> Result<SweepReport, SimError>
+    where
+        F: Fn() -> Box<dyn RoutingFunction> + Send + Sync,
+    {
+        let indices: Vec<usize> = (0..sweep.loads.len()).collect();
+        let points = self.try_run(&indices, |_, &i| sweep.run_point(i, placement, &make_routing))?;
+        Ok(SweepReport { points })
+    }
+
+    /// Runs a batch of synthetic operating points (the Fig. 11 / ablation
+    /// fan-out) through the pool, optionally consulting `cache` so repeated
+    /// figure runs skip already-simulated points.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the lowest-indexed job's simulator error.
+    pub fn run_synthetic_jobs(
+        &self,
+        experiment: &Experiment,
+        jobs: &[SyntheticJob],
+        cache: Option<&ResultCache<NetworkMetrics>>,
+    ) -> Result<Vec<NetworkMetrics>, SimError> {
+        self.try_run(jobs, |_, job| {
+            let compute = || job.run(experiment);
+            match cache {
+                Some(c) => c.get_or_try_insert_with(job.cache_key(), compute),
+                None => compute(),
+            }
+        })
+    }
+}
+
+/// Which configuration a [`SyntheticJob`] measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SyntheticBaseline {
+    /// NoC-sprinting: convex region, CDOR, structural gating.
+    NocSprinting,
+    /// Full-sprinting read #1: the k endpoints placed randomly on the fully
+    /// powered mesh, each injecting at the nominal rate.
+    RandomEndpoints,
+    /// Full-sprinting read #2: all nodes inject, aggregate load matched to
+    /// the sprint configuration (`run_synthetic_spread`).
+    SpreadAggregate,
+}
+
+/// One synthetic-traffic operating point: the unit of work fanned out by
+/// [`ExperimentRunner::run_synthetic_jobs`] and the key of the result
+/// cache.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SyntheticJob {
+    /// Sprint level (active cores).
+    pub level: usize,
+    /// Traffic pattern.
+    pub pattern: TrafficPattern,
+    /// Offered load (flits/cycle per active sprint node).
+    pub rate: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Configuration under test.
+    pub baseline: SyntheticBaseline,
+}
+
+impl SyntheticJob {
+    /// Runs the point on `experiment`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors.
+    pub fn run(&self, experiment: &Experiment) -> Result<NetworkMetrics, SimError> {
+        match self.baseline {
+            SyntheticBaseline::NocSprinting => {
+                experiment.run_synthetic(self.level, true, self.pattern, self.rate, self.seed)
+            }
+            SyntheticBaseline::RandomEndpoints => {
+                experiment.run_synthetic(self.level, false, self.pattern, self.rate, self.seed)
+            }
+            SyntheticBaseline::SpreadAggregate => {
+                experiment.run_synthetic_spread(self.level, self.pattern, self.rate, self.seed)
+            }
+        }
+    }
+
+    /// Stable 64-bit key over the full point configuration. Floats are
+    /// hashed by bit pattern, so any numeric difference yields a different
+    /// key. One [`ResultCache`] must only ever serve one `Experiment`
+    /// configuration — the experiment itself is not part of the key.
+    pub fn cache_key(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        self.level.hash(&mut h);
+        std::mem::discriminant(&self.pattern).hash(&mut h);
+        if let TrafficPattern::Hotspot { hot_fraction } = self.pattern {
+            hot_fraction.to_bits().hash(&mut h);
+        }
+        self.rate.to_bits().hash(&mut h);
+        self.seed.hash(&mut h);
+        self.baseline.hash(&mut h);
+        h.finish()
+    }
+}
+
+/// A thread-safe memo table from point-configuration hashes to results.
+///
+/// Simulations here are pure functions of their configuration, so a cached
+/// value is exactly the value a re-run would produce; racing writers of the
+/// same key insert identical values and determinism is preserved.
+#[derive(Debug, Default)]
+pub struct ResultCache<V: Clone> {
+    map: Mutex<HashMap<u64, V>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<V: Clone> ResultCache<V> {
+    /// An empty cache.
+    pub fn new() -> Self {
+        ResultCache {
+            map: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Hashes an arbitrary key type into this cache's key space.
+    pub fn key_of<K: Hash>(key: &K) -> u64 {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        h.finish()
+    }
+
+    /// Returns the cached value for `key`, or computes, stores and returns
+    /// it. The computation runs outside the lock, so concurrent misses on
+    /// the same key may compute twice — both producing the identical value.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the computation's error (nothing is cached on failure).
+    pub fn get_or_try_insert_with<E>(
+        &self,
+        key: u64,
+        compute: impl FnOnce() -> Result<V, E>,
+    ) -> Result<V, E> {
+        if let Some(v) = self.map.lock().expect("cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(v.clone());
+        }
+        let v = compute()?;
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.map
+            .lock()
+            .expect("cache poisoned")
+            .insert(key, v.clone());
+        Ok(v)
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses (computations) so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("cache poisoned").len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_preserves_input_order() {
+        let runner = ExperimentRunner::with_workers(8);
+        let items: Vec<usize> = (0..100).collect();
+        let out = runner.run(&items, |i, &x| {
+            // Stagger to force out-of-order completion.
+            std::thread::sleep(Duration::from_micros((100 - i as u64) * 10));
+            x * 2
+        });
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn try_run_reports_lowest_index_error() {
+        let runner = ExperimentRunner::with_workers(4);
+        let items: Vec<usize> = (0..32).collect();
+        let res: Result<Vec<usize>, usize> = runner.try_run(&items, |i, &x| {
+            if i % 7 == 3 {
+                Err(i)
+            } else {
+                Ok(x)
+            }
+        });
+        assert_eq!(res.unwrap_err(), 3);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let runner = ExperimentRunner::with_workers(2);
+        let out: Vec<u32> = runner.run(&[] as &[u32], |_, &x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn progress_counters_track_completion() {
+        let runner = ExperimentRunner::with_workers(3);
+        let items = [1u32; 17];
+        let _ = runner.run(&items, |_, &x| x);
+        let snap = runner.progress().snapshot();
+        assert_eq!(snap.scheduled, 17);
+        assert_eq!(snap.completed, 17);
+        assert!(runner.progress().mean_point_time().is_some());
+    }
+
+    #[test]
+    fn cache_hits_skip_recomputation() {
+        let cache: ResultCache<u64> = ResultCache::new();
+        let calls = AtomicU64::new(0);
+        let compute = || -> Result<u64, ()> {
+            calls.fetch_add(1, Ordering::Relaxed);
+            Ok(42)
+        };
+        assert_eq!(cache.get_or_try_insert_with(7, compute), Ok(42));
+        assert_eq!(cache.get_or_try_insert_with(7, compute), Ok(42));
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn cache_does_not_store_failures() {
+        let cache: ResultCache<u64> = ResultCache::new();
+        let r: Result<u64, &str> = cache.get_or_try_insert_with(1, || Err("boom"));
+        assert!(r.is_err());
+        assert!(cache.is_empty());
+        let r: Result<u64, &str> = cache.get_or_try_insert_with(1, || Ok(5));
+        assert_eq!(r, Ok(5));
+    }
+
+    #[test]
+    fn synthetic_job_keys_distinguish_configs() {
+        let base = SyntheticJob {
+            level: 4,
+            pattern: TrafficPattern::UniformRandom,
+            rate: 0.1,
+            seed: 42,
+            baseline: SyntheticBaseline::NocSprinting,
+        };
+        let mut keys = std::collections::HashSet::new();
+        assert!(keys.insert(base.cache_key()));
+        assert!(keys.insert(SyntheticJob { level: 8, ..base }.cache_key()));
+        assert!(keys.insert(SyntheticJob { rate: 0.2, ..base }.cache_key()));
+        assert!(keys.insert(SyntheticJob { seed: 43, ..base }.cache_key()));
+        assert!(keys.insert(
+            SyntheticJob {
+                baseline: SyntheticBaseline::SpreadAggregate,
+                ..base
+            }
+            .cache_key()
+        ));
+        assert!(keys.insert(
+            SyntheticJob {
+                pattern: TrafficPattern::Hotspot { hot_fraction: 0.3 },
+                ..base
+            }
+            .cache_key()
+        ));
+        assert!(keys.insert(
+            SyntheticJob {
+                pattern: TrafficPattern::Hotspot { hot_fraction: 0.4 },
+                ..base
+            }
+            .cache_key()
+        ));
+        // Same config must reproduce the same key.
+        assert_eq!(base.cache_key(), base.cache_key());
+    }
+}

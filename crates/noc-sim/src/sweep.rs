@@ -5,6 +5,13 @@
 //! and diverging at the saturation throughput. [`LoadSweep`] runs the curve
 //! and [`SweepReport`] extracts the standard scalar summaries the Fig. 11
 //! analysis needs.
+//!
+//! Every operating point is an **independent** simulation: its network,
+//! traffic generator and routing function are built from scratch and its
+//! RNG seed is a pure function of `(base_seed, point_index)` (see
+//! [`point_seed`]). Points can therefore run in any order — or on any
+//! thread — and produce bit-identical results; the parallel
+//! `ExperimentRunner` in the `noc-sprinting` crate relies on this.
 
 use crate::error::SimError;
 use crate::network::Network;
@@ -13,6 +20,20 @@ use crate::routing::RoutingFunction;
 use crate::sim::{SimConfig, Simulation};
 use crate::topology::Mesh2D;
 use crate::traffic::{Placement, TrafficGen, TrafficPattern};
+
+/// Derives the RNG seed of sweep point `index` from the sweep's base seed.
+///
+/// The derivation is a splitmix64 mix of both inputs — a pure function, so
+/// serial and parallel executions (and any thread count) agree on every
+/// point's seed, and distinct points get decorrelated streams even for
+/// adjacent indices.
+#[must_use]
+pub fn point_seed(base_seed: u64, index: usize) -> u64 {
+    let mut z = base_seed ^ (index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
 
 /// One operating point of a sweep.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -37,9 +58,14 @@ pub struct SweepReport {
 }
 
 impl SweepReport {
-    /// Latency of the lowest-load point (the zero-load estimate).
+    /// Latency of the lowest-load point with a finite measurement (the
+    /// zero-load estimate). Points that delivered nothing (infinite or NaN
+    /// latency) are skipped rather than poisoning the estimate.
     pub fn zero_load_latency(&self) -> Option<f64> {
-        self.points.first().map(|p| p.network_latency)
+        self.points
+            .iter()
+            .map(|p| p.network_latency)
+            .find(|l| l.is_finite())
     }
 
     /// The lowest offered load flagged saturated, if any point saturated.
@@ -47,17 +73,23 @@ impl SweepReport {
         self.points.iter().find(|p| p.saturated).map(|p| p.offered)
     }
 
-    /// The largest accepted throughput observed (the capacity estimate).
-    pub fn peak_accepted(&self) -> f64 {
-        self.points.iter().map(|p| p.accepted).fold(0.0, f64::max)
+    /// The largest accepted throughput observed (the capacity estimate), or
+    /// `None` for an empty sweep.
+    pub fn peak_accepted(&self) -> Option<f64> {
+        self.points
+            .iter()
+            .map(|p| p.accepted)
+            .fold(None, |acc, x| Some(acc.map_or(x, |a: f64| a.max(x))))
     }
 
-    /// Mean network latency over unsaturated points at or below `max_load`.
+    /// Mean network latency over unsaturated, finite points at or below
+    /// `max_load`. Deep-saturation points that delivered nothing report
+    /// non-finite latency and are excluded even if not flagged saturated.
     pub fn mean_latency_below(&self, max_load: f64) -> Option<f64> {
         let xs: Vec<f64> = self
             .points
             .iter()
-            .filter(|p| !p.saturated && p.offered <= max_load)
+            .filter(|p| !p.saturated && p.offered <= max_load && p.network_latency.is_finite())
             .map(|p| p.network_latency)
             .collect();
         if xs.is_empty() {
@@ -71,8 +103,8 @@ impl SweepReport {
 /// A configurable load sweep over one network setup.
 ///
 /// The builder is re-invoked per point because [`Network`] is consumed by
-/// each run; `build` receives the operating point's seed so full-sprinting
-/// random placements can vary per sample.
+/// each run; it must be callable from any thread (`Fn + Send + Sync`) so
+/// sweeps can fan out across a worker pool.
 #[derive(Debug, Clone)]
 pub struct LoadSweep {
     /// Mesh under test.
@@ -105,34 +137,64 @@ impl LoadSweep {
         }
     }
 
-    /// Runs the sweep with a routing-function builder and node placement.
+    /// Runs the single operating point at `loads[index]`, building its own
+    /// network, traffic generator and routing function.
+    ///
+    /// A point that delivers no measured packet reports non-finite latency
+    /// and is always flagged `saturated` — the operating point is past the
+    /// capacity of the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors.
+    pub fn run_point<F>(
+        &self,
+        index: usize,
+        placement: &Placement,
+        make_routing: &F,
+    ) -> Result<SweepPoint, SimError>
+    where
+        F: Fn() -> Box<dyn RoutingFunction> + ?Sized,
+    {
+        let load = self.loads[index];
+        let net = Network::new(self.mesh, self.params, make_routing())?;
+        let traffic = TrafficGen::new(
+            self.pattern,
+            placement.clone(),
+            load,
+            self.packet_len,
+            point_seed(self.seed, index),
+        )?;
+        let out = Simulation::new(net, traffic, self.sim_config).run()?;
+        let nothing_delivered = out.stats.packet_latency.count() == 0;
+        Ok(SweepPoint {
+            offered: load,
+            packet_latency: out.stats.avg_packet_latency(),
+            network_latency: out.stats.avg_network_latency(),
+            accepted: out.stats.accepted_throughput(),
+            saturated: out.stats.saturated || nothing_delivered,
+        })
+    }
+
+    /// Runs the sweep serially with a routing-function builder and node
+    /// placement. The parallel path (`ExperimentRunner::run_sweep` in the
+    /// `noc-sprinting` crate) fans the same [`LoadSweep::run_point`] calls
+    /// across threads and is bit-identical to this one.
     ///
     /// # Errors
     ///
     /// Propagates simulator errors from any operating point.
-    pub fn run<F>(&self, placement: &Placement, mut make_routing: F) -> Result<SweepReport, SimError>
+    pub fn run<F>(&self, placement: &Placement, make_routing: F) -> Result<SweepReport, SimError>
     where
-        F: FnMut() -> Box<dyn RoutingFunction>,
+        F: Fn() -> Box<dyn RoutingFunction>,
     {
-        let mut points = Vec::new();
-        for (i, &load) in self.loads.iter().enumerate() {
-            let net = Network::new(self.mesh, self.params, make_routing())?;
-            let traffic = TrafficGen::new(
-                self.pattern,
-                placement.clone(),
-                load,
-                self.packet_len,
-                self.seed + i as u64,
-            )?;
-            let out = Simulation::new(net, traffic, self.sim_config).run()?;
-            points.push(SweepPoint {
-                offered: load,
-                packet_latency: out.stats.avg_packet_latency(),
-                network_latency: out.stats.avg_network_latency(),
-                accepted: out.stats.accepted_throughput(),
-                saturated: out.stats.saturated,
-            });
-        }
+        let points = (0..self.loads.len())
+            .map(|i| self.run_point(i, placement, &make_routing))
+            .collect::<Result<Vec<_>, _>>()?;
         Ok(SweepReport { points })
     }
 }
@@ -175,7 +237,7 @@ mod tests {
             (0.3..0.8).contains(&onset),
             "saturation onset {onset} out of band"
         );
-        assert!(r.peak_accepted() > 0.3);
+        assert!(r.peak_accepted().expect("nonempty sweep") > 0.3);
     }
 
     #[test]
@@ -192,5 +254,67 @@ mod tests {
         let low = r.mean_latency_below(0.2).unwrap();
         let z = r.zero_load_latency().unwrap();
         assert!(low >= z - 1.0 && low < z + 15.0);
+    }
+
+    #[test]
+    fn point_seed_is_pure_and_decorrelated() {
+        assert_eq!(point_seed(7, 3), point_seed(7, 3));
+        let mut seen = std::collections::HashSet::new();
+        for base in [0u64, 7, u64::MAX] {
+            for i in 0..64 {
+                assert!(seen.insert(point_seed(base, i)), "collision at ({base}, {i})");
+            }
+        }
+        // Adjacent indices must not map to adjacent seeds.
+        assert!(point_seed(7, 0).abs_diff(point_seed(7, 1)) > 1 << 20);
+    }
+
+    #[test]
+    fn empty_sweep_summaries_signal_absence() {
+        let r = SweepReport { points: vec![] };
+        assert_eq!(r.peak_accepted(), None);
+        assert_eq!(r.zero_load_latency(), None);
+        assert_eq!(r.mean_latency_below(1.0), None);
+        assert_eq!(r.saturation_onset(), None);
+    }
+
+    #[test]
+    fn nonfinite_points_do_not_poison_aggregations() {
+        let good = SweepPoint {
+            offered: 0.1,
+            packet_latency: 20.0,
+            network_latency: 18.0,
+            accepted: 0.1,
+            saturated: false,
+        };
+        // A deep-saturation point that delivered nothing: infinite latency.
+        let dead = SweepPoint {
+            offered: 0.05,
+            packet_latency: f64::INFINITY,
+            network_latency: f64::INFINITY,
+            accepted: 0.0,
+            saturated: false,
+        };
+        let r = SweepReport {
+            points: vec![dead, good],
+        };
+        assert_eq!(r.zero_load_latency(), Some(18.0));
+        assert_eq!(r.mean_latency_below(1.0), Some(18.0));
+        assert!(r.peak_accepted().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn run_point_matches_full_run() {
+        let mesh = Mesh2D::paper_4x4();
+        let mut sweep = LoadSweep::standard(mesh, TrafficPattern::UniformRandom);
+        sweep.sim_config = SimConfig::quick();
+        sweep.loads.truncate(3);
+        let placement = Placement::full(&mesh);
+        let make = || Box::new(XyRouting) as Box<dyn RoutingFunction>;
+        let full = sweep.run(&placement, make).unwrap();
+        for i in (0..3).rev() {
+            let p = sweep.run_point(i, &placement, &make).unwrap();
+            assert_eq!(p, full.points[i], "point {i} must be order-independent");
+        }
     }
 }

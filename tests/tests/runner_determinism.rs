@@ -1,0 +1,118 @@
+//! The load-bearing guarantee of the parallel pipeline: the
+//! `ExperimentRunner` produces **bit-identical** results to the serial
+//! path, at any worker count, because every operating point's seed is a
+//! pure function of `(base_seed, point_index)`.
+
+use noc_sim::routing::{RoutingFunction, XyRouting};
+use noc_sim::sim::SimConfig;
+use noc_sim::sweep::{point_seed, LoadSweep};
+use noc_sim::topology::Mesh2D;
+use noc_sim::traffic::{Placement, TrafficPattern};
+use noc_sprinting::cdor::CdorRouting;
+use noc_sprinting::experiment::Experiment;
+use noc_sprinting::runner::{ExperimentRunner, ResultCache, SyntheticBaseline, SyntheticJob};
+use noc_sprinting::sprint_topology::SprintSet;
+
+fn quick_sweep() -> (LoadSweep, Placement) {
+    let mesh = Mesh2D::paper_4x4();
+    let mut sweep = LoadSweep::standard(mesh, TrafficPattern::UniformRandom);
+    sweep.sim_config = SimConfig::quick();
+    sweep.loads.truncate(6);
+    (sweep, Placement::full(&mesh))
+}
+
+#[test]
+fn parallel_sweep_is_bit_identical_to_serial() {
+    let (sweep, placement) = quick_sweep();
+    let make = || Box::new(XyRouting) as Box<dyn RoutingFunction>;
+    let serial = sweep.run(&placement, make).expect("serial sweep");
+    for workers in [1, 2, 3, 8] {
+        let runner = ExperimentRunner::with_workers(workers);
+        let parallel = runner
+            .run_sweep(&sweep, &placement, make)
+            .expect("parallel sweep");
+        // SweepPoint is PartialEq over f64 fields: equality here is
+        // bit-level, not approximate.
+        assert_eq!(
+            parallel, serial,
+            "sweep must be reproducible with {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn parallel_cdor_sweep_matches_serial() {
+    let mesh = Mesh2D::paper_4x4();
+    let set = SprintSet::paper(4);
+    let mut sweep = LoadSweep::standard(mesh, TrafficPattern::UniformRandom);
+    sweep.sim_config = SimConfig::quick();
+    sweep.loads.truncate(4);
+    let placement = Placement::new(set.active_nodes().to_vec(), &mesh).expect("placement");
+    let make = || Box::new(CdorRouting::new(&set)) as Box<dyn RoutingFunction>;
+    let serial = sweep.run(&placement, make).expect("serial sweep");
+    let parallel = ExperimentRunner::with_workers(4)
+        .run_sweep(&sweep, &placement, make)
+        .expect("parallel sweep");
+    assert_eq!(parallel, serial);
+}
+
+#[test]
+fn seed_derivation_is_independent_of_execution() {
+    // The seed schedule is a pure function of (base, index): recomputing it
+    // in any order, on any thread, yields the same values.
+    let expected: Vec<u64> = (0..32).map(|i| point_seed(99, i)).collect();
+    let runner = ExperimentRunner::with_workers(7);
+    let indices: Vec<usize> = (0..32).collect();
+    let via_pool = runner.run(&indices, |_, &i| point_seed(99, i));
+    assert_eq!(via_pool, expected);
+    let mut reversed: Vec<u64> = (0..32).rev().map(|i| point_seed(99, i)).collect();
+    reversed.reverse();
+    assert_eq!(reversed, expected);
+}
+
+#[test]
+fn synthetic_jobs_are_reproducible_across_worker_counts_and_caching() {
+    let e = Experiment::paper();
+    let jobs: Vec<SyntheticJob> = [0.05, 0.15]
+        .iter()
+        .flat_map(|&rate| {
+            [
+                SyntheticBaseline::NocSprinting,
+                SyntheticBaseline::SpreadAggregate,
+            ]
+            .map(|baseline| SyntheticJob {
+                level: 4,
+                pattern: TrafficPattern::UniformRandom,
+                rate,
+                seed: 11,
+                baseline,
+            })
+        })
+        .collect();
+    let serial = ExperimentRunner::with_workers(1)
+        .run_synthetic_jobs(&e, &jobs, None)
+        .expect("serial jobs");
+    let cache = ResultCache::new();
+    let runner = ExperimentRunner::with_workers(4);
+    let parallel = runner
+        .run_synthetic_jobs(&e, &jobs, Some(&cache))
+        .expect("parallel jobs");
+    for (p, s) in parallel.iter().zip(&serial) {
+        assert_eq!(p.avg_packet_latency.to_bits(), s.avg_packet_latency.to_bits());
+        assert_eq!(p.avg_network_latency.to_bits(), s.avg_network_latency.to_bits());
+        assert_eq!(p.network_power.to_bits(), s.network_power.to_bits());
+        assert_eq!(p.accepted_throughput.to_bits(), s.accepted_throughput.to_bits());
+        assert_eq!(p.saturated, s.saturated);
+    }
+    // A second pass over the same jobs is served from the cache and still
+    // returns the identical metrics.
+    assert_eq!(cache.misses(), jobs.len() as u64);
+    let cached = runner
+        .run_synthetic_jobs(&e, &jobs, Some(&cache))
+        .expect("cached jobs");
+    assert_eq!(cache.misses(), jobs.len() as u64, "no recomputation");
+    assert!(cache.hits() >= jobs.len() as u64);
+    for (c, s) in cached.iter().zip(&serial) {
+        assert_eq!(c.avg_network_latency.to_bits(), s.avg_network_latency.to_bits());
+    }
+}

@@ -1,0 +1,85 @@
+//! Test-runner configuration, RNG, and failure type.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A non-passing test case: a genuine failure (from `prop_assert*`) or a
+/// rejected precondition (from `prop_assume!`, skipped rather than failed).
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case failed an assertion.
+    Fail(String),
+    /// The case's precondition did not hold; the case is discarded.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+
+    /// Creates a rejection with the given message.
+    pub fn reject(message: impl Into<String>) -> Self {
+        TestCaseError::Reject(message.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) | TestCaseError::Reject(m) => f.write_str(m),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// The RNG handed to strategies.
+///
+/// Public fields are an implementation detail of the shim's strategy
+/// implementations.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    /// Underlying generator.
+    pub rng: SmallRng,
+}
+
+impl TestRng {
+    /// Deterministic RNG for one case of one test.
+    pub fn for_case(seed: u64, case: u32) -> Self {
+        TestRng {
+            rng: SmallRng::seed_from_u64(seed ^ (u64::from(case).wrapping_mul(0x9e37_79b9_7f4a_7c15))),
+        }
+    }
+}
+
+/// Stable 64-bit seed from a test path (FNV-1a), so failures reproduce.
+pub fn seed_from_name(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
