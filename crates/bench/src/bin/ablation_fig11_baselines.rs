@@ -100,5 +100,5 @@ fn main() {
             )
         );
     }
-    eprintln!("{}", harness.summary());
+    harness.finish("ablation_fig11_baselines").expect("telemetry write failed");
 }

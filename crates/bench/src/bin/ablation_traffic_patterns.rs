@@ -104,5 +104,5 @@ fn main() {
             )
         );
     }
-    eprintln!("{}", harness.summary());
+    harness.finish("ablation_traffic_patterns").expect("telemetry write failed");
 }

@@ -5,6 +5,7 @@
 //! explore [--mesh WxH] [--master N] [--level K] [--rate R]
 //!         [--pattern uniform|transpose|bitcomp|tornado|shuffle|hotspot|neighbor]
 //!         [--full] [--seed S] [--loads R1,R2,...] [--workers W]
+//!         [--telemetry DIR]
 //! ```
 //!
 //! By default: paper 4x4 mesh, master 0, level 4, uniform at 0.1
@@ -13,18 +14,36 @@
 //! single operating point to a latency-vs-load sweep executed on the
 //! parallel `ExperimentRunner` (`--workers 1` forces the serial path; the
 //! curve is bit-identical at any worker count).
+//!
+//! `--telemetry DIR` (or `NOC_BENCH_TELEMETRY=DIR`) additionally attaches a
+//! [`TimeSeriesObserver`] to every sweep point and writes
+//! `explore.manifest.jsonl`, `explore.trace.json` (Chrome Trace Event
+//! Format — load in `chrome://tracing`) and one
+//! `explore.point<N>.timeseries.csv` per operating point. Telemetry only
+//! observes: the printed curve is bit-identical with it on or off.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
 
 use noc_sim::geometry::NodeId;
 use noc_sim::network::Network;
+use noc_sim::probe::TimeSeriesObserver;
 use noc_sim::routing::{RoutingFunction, XyRouting};
 use noc_sim::sim::{SimConfig, Simulation};
-use noc_sim::sweep::LoadSweep;
+use noc_sim::sweep::{point_seed, LoadSweep, SweepReport};
 use noc_sim::topology::Mesh2D;
 use noc_sim::traffic::{Placement, TrafficGen, TrafficPattern};
 use noc_sprinting::cdor::CdorRouting;
 use noc_sprinting::config::SystemConfig;
 use noc_sprinting::runner::ExperimentRunner;
 use noc_sprinting::sprint_topology::SprintSet;
+use noc_sprinting::telemetry::{ManifestPoint, RunManifest, SpanRecorder};
+
+/// Per-epoch sampling interval for `--telemetry` sweep observers, in
+/// cycles. `SimConfig::sweep` runs 12k measured cycles, so this yields a
+/// couple dozen samples per point.
+const EPOCH_INTERVAL: u64 = 500;
 
 #[derive(Debug)]
 struct Args {
@@ -38,6 +57,7 @@ struct Args {
     seed: u64,
     loads: Option<Vec<f64>>,
     workers: Option<usize>,
+    telemetry: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -52,6 +72,7 @@ fn parse_args() -> Result<Args, String> {
         seed: 1,
         loads: None,
         workers: None,
+        telemetry: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -92,6 +113,7 @@ fn parse_args() -> Result<Args, String> {
                 }
                 args.loads = Some(loads);
             }
+            "--telemetry" => args.telemetry = Some(PathBuf::from(take(&mut i)?)),
             "--full" => args.full = true,
             "--pattern" => {
                 args.pattern = match take(&mut i)?.as_str() {
@@ -108,12 +130,15 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 return Err("usage: explore [--mesh WxH] [--master N] [--level K] \
                             [--rate R] [--pattern P] [--full] [--seed S] \
-                            [--loads R1,R2,...] [--workers W]"
+                            [--loads R1,R2,...] [--workers W] [--telemetry DIR]"
                     .into())
             }
             other => return Err(format!("unknown flag {other} (try --help)")),
         }
         i += 1;
+    }
+    if args.telemetry.is_none() {
+        args.telemetry = std::env::var_os("NOC_BENCH_TELEMETRY").map(PathBuf::from);
     }
     Ok(args)
 }
@@ -208,13 +233,22 @@ fn main() {
     }
 }
 
-/// `--loads` mode: a latency-vs-load sweep over the parallel runner.
+/// `--loads` mode: a latency-vs-load sweep over the parallel runner, with
+/// optional telemetry (probes + manifest + Chrome trace) when
+/// `--telemetry DIR` is given.
 fn run_sweep_mode(args: &Args, mesh: Mesh2D, set: &SprintSet, loads: Vec<f64>) {
     let sys = SystemConfig::paper();
-    let runner = match args.workers {
+    let mut runner = match args.workers {
         Some(w) => ExperimentRunner::with_workers(w),
         None => ExperimentRunner::new(),
     };
+    let spans = args.telemetry.as_ref().map(|_| Arc::new(SpanRecorder::new()));
+    if let Some(s) = &spans {
+        runner = runner.with_span_recorder(Arc::clone(s));
+    }
+    if noc_bench::progress_from_env() {
+        runner = runner.with_echo("explore");
+    }
     let sweep = LoadSweep {
         mesh,
         params: sys.router,
@@ -224,22 +258,48 @@ fn run_sweep_mode(args: &Args, mesh: Mesh2D, set: &SprintSet, loads: Vec<f64>) {
         sim_config: SimConfig::sweep(),
         seed: args.seed,
     };
-    let report = if args.full {
-        runner.run_sweep(&sweep, &Placement::full(&mesh), || {
-            Box::new(XyRouting) as Box<dyn RoutingFunction>
-        })
+    let placement = if args.full {
+        Placement::full(&mesh)
     } else {
-        let placement =
-            Placement::new(set.active_nodes().to_vec(), &mesh).expect("placement");
-        runner.run_sweep(&sweep, &placement, || {
-            Box::new(CdorRouting::new(set)) as Box<dyn RoutingFunction>
-        })
+        Placement::new(set.active_nodes().to_vec(), &mesh).expect("placement")
     };
-    let report = match report {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("sweep failed: {e}");
-            std::process::exit(1);
+    let make_routing: Box<dyn Fn() -> Box<dyn RoutingFunction> + Send + Sync> = if args.full {
+        Box::new(|| Box::new(XyRouting))
+    } else {
+        let set = set.clone();
+        Box::new(move || Box::new(CdorRouting::new(&set)))
+    };
+    let started = Instant::now();
+    // With telemetry: the observed path, which attaches one
+    // TimeSeriesObserver per point. Without: the plain (probe-free) path.
+    // Both produce bit-identical reports — probes only observe.
+    let report = if let Some(dir) = &args.telemetry {
+        let observed = runner.run_sweep_observed(&sweep, &placement, make_routing, |_| {
+            TimeSeriesObserver::new(EPOCH_INTERVAL)
+        });
+        match observed {
+            Ok((report, observers)) => {
+                let spans = spans.as_ref().expect("recorder attached with telemetry");
+                if let Err(e) =
+                    write_telemetry(dir, &runner, &sweep, &report, &observers, spans, started)
+                {
+                    eprintln!("telemetry write failed: {e}");
+                    std::process::exit(1);
+                }
+                report
+            }
+            Err(e) => {
+                eprintln!("sweep failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        match runner.run_sweep(&sweep, &placement, make_routing) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("sweep failed: {e}");
+                std::process::exit(1);
+            }
         }
     };
     println!(
@@ -281,4 +341,75 @@ fn run_sweep_mode(args: &Args, mesh: Mesh2D, set: &SprintSet, loads: Vec<f64>) {
         runner.workers(),
         snap.busy
     );
+}
+
+/// Writes `explore.manifest.jsonl`, `explore.trace.json` and one
+/// `explore.point<N>.timeseries.csv` per sweep point into `dir`.
+fn write_telemetry(
+    dir: &PathBuf,
+    runner: &ExperimentRunner,
+    sweep: &LoadSweep,
+    report: &SweepReport,
+    observers: &[TimeSeriesObserver],
+    spans: &SpanRecorder,
+    started: Instant,
+) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    // Per-point wall durations come from the recorded spans.
+    let mut dur_ms = vec![0.0f64; report.points.len()];
+    for s in spans.spans() {
+        if let Some(d) = dur_ms.get_mut(s.index) {
+            *d = s.dur_us as f64 / 1e3;
+        }
+    }
+    let points: Vec<ManifestPoint> = report
+        .points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| ManifestPoint {
+            index: i,
+            seed: point_seed(sweep.seed, i),
+            config_hash: RunManifest::combine_hashes([
+                sweep.seed,
+                i as u64,
+                sweep.loads[i].to_bits(),
+                u64::from(sweep.packet_len),
+            ]),
+            cache_hit: false,
+            duration_ms: dur_ms[i],
+            metrics: vec![
+                ("offered".to_string(), p.offered),
+                ("packet_latency".to_string(), p.packet_latency),
+                ("network_latency".to_string(), p.network_latency),
+                ("accepted".to_string(), p.accepted),
+                ("saturated".to_string(), f64::from(u8::from(p.saturated))),
+            ],
+        })
+        .collect();
+    let manifest = RunManifest {
+        figure: "explore".to_string(),
+        config_hash: RunManifest::combine_hashes(points.iter().map(|p| p.config_hash)),
+        workers: runner.workers(),
+        base_seed: sweep.seed,
+        seed_schedule: points.iter().map(|p| p.seed).collect(),
+        wall_ms: started.elapsed().as_secs_f64() * 1e3,
+        cache_hits: 0,
+        cache_misses: points.len() as u64,
+        points,
+    };
+    let manifest_path = dir.join("explore.manifest.jsonl");
+    let trace_path = dir.join("explore.trace.json");
+    std::fs::write(&manifest_path, manifest.to_jsonl())?;
+    std::fs::write(&trace_path, spans.chrome_trace())?;
+    for (i, obs) in observers.iter().enumerate() {
+        std::fs::write(dir.join(format!("explore.point{i}.timeseries.csv")), obs.to_csv())?;
+    }
+    eprintln!(
+        "[telemetry: {}, {} and {} per-point time-series written to {}]",
+        manifest_path.display(),
+        trace_path.display(),
+        observers.len(),
+        dir.display()
+    );
+    Ok(())
 }

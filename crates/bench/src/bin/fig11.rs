@@ -136,5 +136,5 @@ fn main() {
     }
     println!("note: PARSEC average injection never exceeds 0.3 flits/cycle (paper §4.3),");
     println!("so the earlier saturation of the sprint region does not bite in practice.");
-    eprintln!("{}", harness.summary());
+    harness.finish("fig11").expect("telemetry write failed");
 }

@@ -92,5 +92,5 @@ fn main() {
     println!("on the bigger chip the dark fraction at a given level is larger, so the");
     println!("power savings exceed the 4x4 numbers at matched levels, while latency");
     println!("benefits follow the same level-inverse trend as Fig. 11.");
-    eprintln!("{}", harness.summary());
+    harness.finish("scale_study").expect("telemetry write failed");
 }

@@ -1,0 +1,106 @@
+//! `telemetry_check DIR` — validate the telemetry artifacts in a directory.
+//!
+//! Every `*.manifest.jsonl` must parse as a [`RunManifest`] with a coherent
+//! seed schedule, and every `*.trace.json` must be a well-formed Chrome
+//! Trace Event file. Exits nonzero (with a message per offending file) if
+//! anything is malformed or if the directory holds no telemetry at all —
+//! which makes it a usable CI smoke check after running a figure binary
+//! with `--telemetry DIR`.
+
+use noc_sprinting::telemetry::{validate_chrome_trace, RunManifest};
+
+/// Checks one manifest's internal coherence beyond what parsing enforces.
+fn check_manifest(m: &RunManifest) -> Result<(), String> {
+    if m.figure.is_empty() {
+        return Err("empty figure identifier".into());
+    }
+    if m.workers == 0 {
+        return Err("worker count is zero".into());
+    }
+    if m.seed_schedule.len() != m.points.len() {
+        return Err(format!(
+            "seed schedule has {} entries for {} points",
+            m.seed_schedule.len(),
+            m.points.len()
+        ));
+    }
+    for (i, (p, &s)) in m.points.iter().zip(&m.seed_schedule).enumerate() {
+        if p.index != i {
+            return Err(format!("point {i} records index {}", p.index));
+        }
+        if p.seed != s {
+            return Err(format!("point {i} seed {} != schedule {s}", p.seed));
+        }
+    }
+    let expected = RunManifest::combine_hashes(m.points.iter().map(|p| p.config_hash));
+    if m.config_hash != expected {
+        return Err(format!(
+            "run config hash {:#x} != combined point hashes {expected:#x}",
+            m.config_hash
+        ));
+    }
+    Ok(())
+}
+
+fn main() {
+    let Some(dir) = std::env::args().nth(1) else {
+        eprintln!("usage: telemetry_check DIR");
+        std::process::exit(2);
+    };
+    let entries = match std::fs::read_dir(&dir) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("cannot read {dir}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let (mut manifests, mut traces, mut failures) = (0usize, 0usize, 0usize);
+    let mut paths: Vec<_> = entries
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .collect();
+    paths.sort();
+    for path in paths {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if name.ends_with(".manifest.jsonl") {
+            manifests += 1;
+            let outcome = std::fs::read_to_string(&path)
+                .map_err(|e| e.to_string())
+                .and_then(|text| RunManifest::from_jsonl(&text))
+                .and_then(|m| check_manifest(&m).map(|()| m));
+            match outcome {
+                Ok(m) => println!(
+                    "ok {name}: {} points, {} workers, {} seeds, config {:#018x}",
+                    m.points.len(),
+                    m.workers,
+                    m.seed_schedule.len(),
+                    m.config_hash
+                ),
+                Err(e) => {
+                    eprintln!("FAIL {name}: {e}");
+                    failures += 1;
+                }
+            }
+        } else if name.ends_with(".trace.json") {
+            traces += 1;
+            let outcome = std::fs::read_to_string(&path)
+                .map_err(|e| e.to_string())
+                .and_then(|text| validate_chrome_trace(&text));
+            match outcome {
+                Ok(n) => println!("ok {name}: {n} trace events"),
+                Err(e) => {
+                    eprintln!("FAIL {name}: {e}");
+                    failures += 1;
+                }
+            }
+        }
+    }
+    if manifests == 0 && traces == 0 {
+        eprintln!("FAIL: no *.manifest.jsonl or *.trace.json files in {dir}");
+        std::process::exit(1);
+    }
+    println!("checked {manifests} manifest(s), {traces} trace(s), {failures} failure(s)");
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

@@ -10,11 +10,15 @@
 #![warn(missing_docs)]
 
 use std::fmt::Write as _;
+use std::io::IsTerminal as _;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use noc_sim::error::SimError;
 use noc_sprinting::experiment::{Experiment, NetworkMetrics};
 use noc_sprinting::runner::{ExperimentRunner, ResultCache, SyntheticJob};
+use noc_sprinting::telemetry::{ManifestPoint, RunManifest, SpanRecorder};
 
 /// Worker-count override for the figure binaries: `NOC_BENCH_WORKERS=1`
 /// forces the serial path (useful for timing comparisons), unset or invalid
@@ -26,17 +30,61 @@ pub fn workers_from_env() -> Option<usize> {
         .filter(|&w| w > 0)
 }
 
+/// Telemetry output directory for the figure binaries: the `--telemetry
+/// <dir>` (or `--telemetry=<dir>`) command-line flag wins, falling back to
+/// the `NOC_BENCH_TELEMETRY` environment variable; `None` disables
+/// telemetry output entirely.
+pub fn telemetry_dir_from_env() -> Option<PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--telemetry" {
+            if let Some(dir) = args.next() {
+                return Some(PathBuf::from(dir));
+            }
+        } else if let Some(dir) = a.strip_prefix("--telemetry=") {
+            return Some(PathBuf::from(dir));
+        }
+    }
+    std::env::var_os("NOC_BENCH_TELEMETRY").map(PathBuf::from)
+}
+
+/// Whether the figure binaries should print live progress lines to stderr:
+/// `NOC_BENCH_PROGRESS=1`/`0` forces it on/off, otherwise it follows
+/// whether stderr is a terminal (so redirected CI logs stay clean).
+pub fn progress_from_env() -> bool {
+    match std::env::var("NOC_BENCH_PROGRESS") {
+        Ok(v) => v != "0" && !v.is_empty(),
+        Err(_) => std::io::stderr().is_terminal(),
+    }
+}
+
+/// Telemetry state accumulated across a harness's batches.
+#[derive(Debug)]
+struct Telemetry {
+    dir: PathBuf,
+    spans: Arc<SpanRecorder>,
+    points: Mutex<Vec<ManifestPoint>>,
+}
+
 /// The execution context shared by the figure/ablation binaries: a
 /// deterministic parallel [`ExperimentRunner`] plus a [`ResultCache`] so a
 /// point that several tables share is simulated once.
 ///
 /// Results are bit-identical at any worker count — per-point seeds are
 /// derived from configuration, never from execution order.
+///
+/// With a telemetry directory configured (`--telemetry <dir>` /
+/// `NOC_BENCH_TELEMETRY`), the harness additionally records one
+/// [`ManifestPoint`] and one span per operating point, and
+/// [`FigureHarness::finish`] writes `<dir>/<figure>.manifest.jsonl` plus
+/// `<dir>/<figure>.trace.json` (Chrome Trace Event Format). Telemetry only
+/// *observes* the run — results are byte-identical with it on or off.
 #[derive(Debug)]
 pub struct FigureHarness {
     runner: ExperimentRunner,
     cache: ResultCache<NetworkMetrics>,
     started: Instant,
+    telemetry: Option<Telemetry>,
 }
 
 impl Default for FigureHarness {
@@ -46,16 +94,46 @@ impl Default for FigureHarness {
 }
 
 impl FigureHarness {
-    /// A harness honoring the `NOC_BENCH_WORKERS` override.
+    /// A harness honoring the `NOC_BENCH_WORKERS`, `NOC_BENCH_TELEMETRY`
+    /// (or `--telemetry <dir>`) and `NOC_BENCH_PROGRESS` overrides.
     pub fn new() -> Self {
+        let mut harness = Self::with_telemetry_dir(telemetry_dir_from_env());
+        if progress_from_env() {
+            // Label progress lines with the binary name (e.g. "fig11").
+            let label = std::env::args()
+                .next()
+                .as_deref()
+                .and_then(|a| Path::new(a).file_stem()?.to_str().map(String::from))
+                .unwrap_or_else(|| "progress".to_string());
+            harness.runner = harness.runner.with_echo(label);
+        }
+        harness
+    }
+
+    /// A harness writing telemetry to `dir` (or none for `None`),
+    /// independent of command line and environment.
+    pub fn with_telemetry_dir(dir: Option<PathBuf>) -> Self {
         let runner = match workers_from_env() {
             Some(w) => ExperimentRunner::with_workers(w),
             None => ExperimentRunner::new(),
+        };
+        let (runner, telemetry) = match dir {
+            Some(dir) => {
+                let spans = Arc::new(SpanRecorder::new());
+                let telemetry = Telemetry {
+                    dir,
+                    spans: Arc::clone(&spans),
+                    points: Mutex::new(Vec::new()),
+                };
+                (runner.with_span_recorder(spans), Some(telemetry))
+            }
+            None => (runner, None),
         };
         FigureHarness {
             runner,
             cache: ResultCache::new(),
             started: Instant::now(),
+            telemetry,
         }
     }
 
@@ -63,6 +141,11 @@ impl FigureHarness {
     /// [`ExperimentRunner::run_sweep`] fan-outs).
     pub fn runner(&self) -> &ExperimentRunner {
         &self.runner
+    }
+
+    /// The telemetry directory, when telemetry is enabled.
+    pub fn telemetry_dir(&self) -> Option<&Path> {
+        self.telemetry.as_ref().map(|t| t.dir.as_path())
     }
 
     /// Runs a batch of synthetic operating points through the pool and the
@@ -76,7 +159,30 @@ impl FigureHarness {
         experiment: &Experiment,
         jobs: &[SyntheticJob],
     ) -> Result<Vec<NetworkMetrics>, SimError> {
-        self.runner.run_synthetic_jobs(experiment, jobs, Some(&self.cache))
+        let detailed = self
+            .runner
+            .run_synthetic_jobs_detailed(experiment, jobs, Some(&self.cache))?;
+        if let Some(t) = &self.telemetry {
+            let mut pts = t.points.lock().expect("telemetry points poisoned");
+            for (job, (m, d)) in jobs.iter().zip(&detailed) {
+                let index = pts.len();
+                pts.push(ManifestPoint {
+                    index,
+                    seed: job.seed,
+                    config_hash: job.cache_key(),
+                    cache_hit: d.cache_hit,
+                    duration_ms: d.duration.as_secs_f64() * 1e3,
+                    metrics: vec![
+                        ("avg_packet_latency".to_string(), m.avg_packet_latency),
+                        ("avg_network_latency".to_string(), m.avg_network_latency),
+                        ("network_power".to_string(), m.network_power),
+                        ("accepted_throughput".to_string(), m.accepted_throughput),
+                        ("saturated".to_string(), f64::from(u8::from(m.saturated))),
+                    ],
+                });
+            }
+        }
+        Ok(detailed.into_iter().map(|(m, _)| m).collect())
     }
 
     /// One-line execution report (point count, cache hits, workers, wall
@@ -91,6 +197,45 @@ impl FigureHarness {
             self.started.elapsed(),
             snap.busy,
         )
+    }
+
+    /// Prints the execution summary to stderr and — when telemetry is
+    /// enabled — writes `<dir>/<figure>.manifest.jsonl` (run manifest:
+    /// config hash, seed schedule, worker count, wall time, per-point
+    /// metrics) and `<dir>/<figure>.trace.json` (Chrome trace of the
+    /// parallel run). Every figure binary calls this once before exiting.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors creating the telemetry directory or writing its files.
+    pub fn finish(&self, figure: &str) -> std::io::Result<()> {
+        eprintln!("{}", self.summary());
+        let Some(t) = &self.telemetry else {
+            return Ok(());
+        };
+        std::fs::create_dir_all(&t.dir)?;
+        let points = t.points.lock().expect("telemetry points poisoned").clone();
+        let manifest = RunManifest {
+            figure: figure.to_string(),
+            config_hash: RunManifest::combine_hashes(points.iter().map(|p| p.config_hash)),
+            workers: self.runner.workers(),
+            base_seed: points.first().map_or(0, |p| p.seed),
+            seed_schedule: points.iter().map(|p| p.seed).collect(),
+            wall_ms: self.started.elapsed().as_secs_f64() * 1e3,
+            cache_hits: self.cache.hits(),
+            cache_misses: self.cache.misses(),
+            points,
+        };
+        let manifest_path = t.dir.join(format!("{figure}.manifest.jsonl"));
+        let trace_path = t.dir.join(format!("{figure}.trace.json"));
+        std::fs::write(&manifest_path, manifest.to_jsonl())?;
+        std::fs::write(&trace_path, t.spans.chrome_trace())?;
+        eprintln!(
+            "[telemetry: {} and {} written]",
+            manifest_path.display(),
+            trace_path.display()
+        );
+        Ok(())
     }
 }
 

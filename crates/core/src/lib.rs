@@ -70,6 +70,7 @@ pub mod llc;
 pub mod runner;
 pub mod runtime;
 pub mod sprint_topology;
+pub mod telemetry;
 
 pub use bypass::BypassModel;
 pub use cdor::{is_deadlock_free, CdorRouting};
@@ -81,6 +82,12 @@ pub use experiment::{Experiment, NetworkMetrics, ThermalVariant};
 pub use floorplan::Floorplan;
 pub use gating::GatingPlan;
 pub use llc::LlcAgent;
-pub use runner::{ExperimentRunner, ResultCache, RunnerProgress, SyntheticBaseline, SyntheticJob};
+pub use runner::{
+    ExperimentRunner, PointDetail, ResultCache, RunnerProgress, SyntheticBaseline, SyntheticJob,
+};
 pub use runtime::{JobRecord, SprintJob, SprintRuntime};
 pub use sprint_topology::{sprint_order, SprintSet};
+pub use telemetry::{
+    progress_line, validate_chrome_trace, JsonValue, ManifestPoint, RunManifest, RunnerEvent, Span,
+    SpanRecorder,
+};

@@ -31,11 +31,13 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use noc_sim::error::SimError;
+use noc_sim::probe::Probe;
 use noc_sim::routing::RoutingFunction;
-use noc_sim::sweep::{LoadSweep, SweepReport};
+use noc_sim::sweep::{point_seed, LoadSweep, SweepReport};
 use noc_sim::traffic::{Placement, TrafficPattern};
 
 use crate::experiment::{Experiment, NetworkMetrics};
+use crate::telemetry::{progress_line, RunnerEvent, SpanRecorder};
 
 /// Live counters for an in-flight (or finished) batch of experiment points.
 ///
@@ -92,6 +94,7 @@ pub struct ExperimentRunner {
     workers: usize,
     progress: Arc<RunnerProgress>,
     echo: Option<String>,
+    spans: Option<Arc<SpanRecorder>>,
 }
 
 impl Default for ExperimentRunner {
@@ -118,15 +121,78 @@ impl ExperimentRunner {
             workers,
             progress: Arc::new(RunnerProgress::default()),
             echo: None,
+            spans: None,
         }
     }
 
-    /// Prints `label: completed/scheduled (point in Xms)` to stderr as
-    /// points finish — observability for long sweeps.
+    /// Prints a live progress line (`label: completed/total (pct), rate,
+    /// ETA`) to stderr as points finish — observability for long sweeps.
     #[must_use]
     pub fn with_echo(mut self, label: impl Into<String>) -> Self {
         self.echo = Some(label.into());
         self
+    }
+
+    /// Records a [`crate::telemetry::Span`] per completed point into `rec`
+    /// (start/end wall time, worker thread, cache hit, seed, config hash),
+    /// exportable as a Chrome trace for the whole parallel run.
+    #[must_use]
+    pub fn with_span_recorder(mut self, rec: Arc<SpanRecorder>) -> Self {
+        self.spans = Some(rec);
+        self
+    }
+
+    /// The attached span recorder, if any.
+    pub fn span_recorder(&self) -> Option<&Arc<SpanRecorder>> {
+        self.spans.as_ref()
+    }
+
+    /// The label used for spans, events and progress lines.
+    fn label_or(&self, fallback: &str) -> String {
+        self.echo.clone().unwrap_or_else(|| fallback.to_string())
+    }
+
+    /// Records one completed point span if a recorder is attached.
+    fn record_span(
+        &self,
+        fallback: &str,
+        index: usize,
+        start: Instant,
+        cache_hit: bool,
+        seed: Option<u64>,
+        config_hash: Option<u64>,
+    ) {
+        if let Some(rec) = &self.spans {
+            rec.record(
+                &self.label_or(fallback),
+                index,
+                start,
+                Instant::now(),
+                cache_hit,
+                seed,
+                config_hash,
+            );
+        }
+    }
+
+    /// Emits a structured point-failure event (one JSON line on stderr)
+    /// carrying the failing point's index, config hash and seed.
+    fn emit_failure(
+        &self,
+        fallback: &str,
+        index: usize,
+        config_hash: Option<u64>,
+        seed: Option<u64>,
+        error: &dyn std::fmt::Display,
+    ) {
+        let event = RunnerEvent::PointFailed {
+            label: self.label_or(fallback),
+            index,
+            config_hash,
+            seed,
+            error: error.to_string(),
+        };
+        eprintln!("{}", event.to_json());
     }
 
     /// The configured worker count.
@@ -180,6 +246,7 @@ impl ExperimentRunner {
         let results: Vec<Mutex<Option<Result<O, E>>>> =
             (0..n).map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
+        let batch_start = Instant::now();
         let workers = self.workers.min(n);
         std::thread::scope(|s| {
             for _ in 0..workers {
@@ -190,13 +257,17 @@ impl ExperimentRunner {
                     }
                     let start = Instant::now();
                     let out = f(i, &items[i]);
-                    let elapsed = start.elapsed();
-                    self.progress.record(elapsed);
+                    self.progress.record(start.elapsed());
                     if let Some(label) = &self.echo {
                         let snap = self.progress.snapshot();
                         eprintln!(
-                            "{label}: {}/{} (point {i} in {:.0?})",
-                            snap.completed, snap.scheduled, elapsed
+                            "{}",
+                            progress_line(
+                                label,
+                                snap.completed,
+                                snap.scheduled,
+                                batch_start.elapsed()
+                            )
                         );
                     }
                     *results[i].lock().expect("result cell poisoned") = Some(out);
@@ -231,8 +302,66 @@ impl ExperimentRunner {
         F: Fn() -> Box<dyn RoutingFunction> + Send + Sync,
     {
         let indices: Vec<usize> = (0..sweep.loads.len()).collect();
-        let points = self.try_run(&indices, |_, &i| sweep.run_point(i, placement, &make_routing))?;
+        let points = self.try_run(&indices, |_, &i| {
+            let start = Instant::now();
+            let seed = point_seed(sweep.seed, i);
+            match sweep.run_point(i, placement, &make_routing) {
+                Ok(p) => {
+                    self.record_span("sweep", i, start, false, Some(seed), None);
+                    Ok(p)
+                }
+                Err(e) => {
+                    self.emit_failure("sweep", i, None, Some(seed), &e);
+                    Err(e)
+                }
+            }
+        })?;
         Ok(SweepReport { points })
+    }
+
+    /// [`ExperimentRunner::run_sweep`] with one probe attached per point:
+    /// `make_probe(i)` builds point `i`'s observer, the point runs through
+    /// [`LoadSweep::run_point_observed`], and the filled probes come back in
+    /// point order alongside the report.
+    ///
+    /// Probes observe without mutating simulation state, so the returned
+    /// [`SweepReport`] is `assert_eq!`-identical to the probe-less
+    /// [`ExperimentRunner::run_sweep`] at any worker count (pinned by the
+    /// determinism suite).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the lowest-indexed point's simulator error.
+    pub fn run_sweep_observed<F, P, M>(
+        &self,
+        sweep: &LoadSweep,
+        placement: &Placement,
+        make_routing: F,
+        make_probe: M,
+    ) -> Result<(SweepReport, Vec<P>), SimError>
+    where
+        F: Fn() -> Box<dyn RoutingFunction> + Send + Sync,
+        P: Probe,
+        M: Fn(usize) -> P + Send + Sync,
+    {
+        let indices: Vec<usize> = (0..sweep.loads.len()).collect();
+        let results = self.try_run(&indices, |_, &i| {
+            let start = Instant::now();
+            let seed = point_seed(sweep.seed, i);
+            let mut probe = make_probe(i);
+            match sweep.run_point_observed(i, placement, &make_routing, Some(&mut probe)) {
+                Ok(p) => {
+                    self.record_span("sweep", i, start, false, Some(seed), None);
+                    Ok((p, probe))
+                }
+                Err(e) => {
+                    self.emit_failure("sweep", i, None, Some(seed), &e);
+                    Err(e)
+                }
+            }
+        })?;
+        let (points, probes) = results.into_iter().unzip();
+        Ok((SweepReport { points }, probes))
     }
 
     /// Runs a batch of synthetic operating points (the Fig. 11 / ablation
@@ -248,14 +377,60 @@ impl ExperimentRunner {
         jobs: &[SyntheticJob],
         cache: Option<&ResultCache<NetworkMetrics>>,
     ) -> Result<Vec<NetworkMetrics>, SimError> {
-        self.try_run(jobs, |_, job| {
+        Ok(self
+            .run_synthetic_jobs_detailed(experiment, jobs, cache)?
+            .into_iter()
+            .map(|(m, _)| m)
+            .collect())
+    }
+
+    /// [`ExperimentRunner::run_synthetic_jobs`], additionally reporting each
+    /// point's execution detail (cache hit, worker wall time) so callers can
+    /// write per-point telemetry without re-deriving it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the lowest-indexed job's simulator error.
+    pub fn run_synthetic_jobs_detailed(
+        &self,
+        experiment: &Experiment,
+        jobs: &[SyntheticJob],
+        cache: Option<&ResultCache<NetworkMetrics>>,
+    ) -> Result<Vec<(NetworkMetrics, PointDetail)>, SimError> {
+        self.try_run(jobs, |i, job| {
+            let start = Instant::now();
+            let key = job.cache_key();
             let compute = || job.run(experiment);
-            match cache {
-                Some(c) => c.get_or_try_insert_with(job.cache_key(), compute),
-                None => compute(),
+            let result = match cache {
+                Some(c) => c.get_or_try_insert_with_stats(key, compute),
+                None => compute().map(|v| (v, false)),
+            };
+            match result {
+                Ok((v, cache_hit)) => {
+                    self.record_span("jobs", i, start, cache_hit, Some(job.seed), Some(key));
+                    let detail = PointDetail {
+                        cache_hit,
+                        duration: start.elapsed(),
+                    };
+                    Ok((v, detail))
+                }
+                Err(e) => {
+                    self.emit_failure("jobs", i, Some(key), Some(job.seed), &e);
+                    Err(e)
+                }
             }
         })
     }
+}
+
+/// Per-point execution detail from
+/// [`ExperimentRunner::run_synthetic_jobs_detailed`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PointDetail {
+    /// Whether the point was served from the result cache.
+    pub cache_hit: bool,
+    /// Wall time the worker spent on the point (near zero for cache hits).
+    pub duration: Duration,
 }
 
 /// Which configuration a [`SyntheticJob`] measures.
@@ -367,9 +542,24 @@ impl<V: Clone> ResultCache<V> {
         key: u64,
         compute: impl FnOnce() -> Result<V, E>,
     ) -> Result<V, E> {
+        self.get_or_try_insert_with_stats(key, compute).map(|(v, _)| v)
+    }
+
+    /// [`ResultCache::get_or_try_insert_with`], additionally reporting
+    /// whether the value came from the cache (`true` = hit) so callers can
+    /// attribute hits/misses to individual points in telemetry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the computation's error (nothing is cached on failure).
+    pub fn get_or_try_insert_with_stats<E>(
+        &self,
+        key: u64,
+        compute: impl FnOnce() -> Result<V, E>,
+    ) -> Result<(V, bool), E> {
         if let Some(v) = self.map.lock().expect("cache poisoned").get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(v.clone());
+            return Ok((v.clone(), true));
         }
         let v = compute()?;
         self.misses.fetch_add(1, Ordering::Relaxed);
@@ -377,7 +567,7 @@ impl<V: Clone> ResultCache<V> {
             .lock()
             .expect("cache poisoned")
             .insert(key, v.clone());
-        Ok(v)
+        Ok((v, false))
     }
 
     /// Cache hits so far.
@@ -447,6 +637,40 @@ mod tests {
         assert_eq!(snap.scheduled, 17);
         assert_eq!(snap.completed, 17);
         assert!(runner.progress().mean_point_time().is_some());
+    }
+
+    #[test]
+    fn stats_variant_reports_hit_flag() {
+        let cache: ResultCache<u64> = ResultCache::new();
+        let ok = |v: u64| move || -> Result<u64, ()> { Ok(v) };
+        assert_eq!(cache.get_or_try_insert_with_stats(9, ok(5)), Ok((5, false)));
+        assert_eq!(cache.get_or_try_insert_with_stats(9, ok(5)), Ok((5, true)));
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn sweep_records_spans_when_recorder_attached() {
+        use crate::telemetry::validate_chrome_trace;
+        use noc_sim::routing::XyRouting;
+        use noc_sim::sim::SimConfig;
+        use noc_sim::topology::Mesh2D;
+
+        let rec = Arc::new(SpanRecorder::new());
+        let runner = ExperimentRunner::with_workers(2).with_span_recorder(Arc::clone(&rec));
+        let mesh = Mesh2D::paper_4x4();
+        let mut sweep = LoadSweep::standard(mesh, TrafficPattern::UniformRandom);
+        sweep.sim_config = SimConfig::quick();
+        sweep.loads.truncate(2);
+        let report = runner
+            .run_sweep(&sweep, &Placement::full(&mesh), || Box::new(XyRouting))
+            .unwrap();
+        assert_eq!(report.points.len(), 2);
+        assert_eq!(rec.len(), 2, "one span per operating point");
+        let spans = rec.spans();
+        assert!(spans.iter().any(|s| s.seed == Some(point_seed(sweep.seed, 0))));
+        assert!(spans.iter().all(|s| !s.cache_hit));
+        assert_eq!(validate_chrome_trace(&rec.chrome_trace()).unwrap(), 2);
     }
 
     #[test]

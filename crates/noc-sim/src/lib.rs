@@ -52,6 +52,7 @@ pub mod error;
 pub mod geometry;
 pub mod network;
 pub mod packet;
+pub mod probe;
 pub mod router;
 pub mod routing;
 pub mod sim;
@@ -66,10 +67,13 @@ pub use closed_loop::{ClosedLoopSim, ClosedLoopStats, Delivered, ProtocolAgent};
 pub use error::{SimError, TopologyError};
 pub use geometry::{Coord, Direction, NodeId, Port};
 pub use network::{GatingMode, Network};
+pub use probe::{
+    EpochSample, EventCounts, LatencyObserver, Probe, SimPhase, TimeSeriesObserver,
+};
 pub use router::{RouterActivity, RouterParams};
 pub use routing::{NegativeFirstRouting, RoutingFunction, XyRouting, YxRouting};
 pub use sim::{SimConfig, SimOutcome, Simulation};
-pub use stats::SimStats;
+pub use stats::{SimStats, StreamingHistogram};
 pub use sweep::{LoadSweep, SweepPoint, SweepReport};
 pub use topology::Mesh2D;
 pub use trace::{PacketTrace, TraceEntry, TraceReplayer};

@@ -16,6 +16,7 @@ use std::collections::VecDeque;
 use crate::error::SimError;
 use crate::geometry::{NodeId, Port};
 use crate::packet::{Flit, Packet};
+use crate::probe::Probe;
 use crate::router::{Router, RouterActivity, RouterParams, SleepState};
 use crate::routing::RoutingFunction;
 use crate::topology::Mesh2D;
@@ -353,11 +354,30 @@ impl Network {
     /// Returns [`SimError::DarkRouterEntered`] if a flit reaches a
     /// power-gated router, which indicates a routing-function bug.
     pub fn step(&mut self) -> Result<StepReport, SimError> {
+        self.step_observed(None)
+    }
+
+    /// Advances the network by one cycle, reporting pipeline events to an
+    /// optional [`Probe`].
+    ///
+    /// The probe only *observes*: it receives copies of event data and never
+    /// touches network state, so stepping with `Some(probe)` produces state
+    /// bit-identical to stepping with `None` (pinned by the determinism
+    /// suite).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::DarkRouterEntered`] if a flit reaches a
+    /// power-gated router, which indicates a routing-function bug.
+    pub fn step_observed(
+        &mut self,
+        mut probe: Option<&mut (dyn Probe + '_)>,
+    ) -> Result<StepReport, SimError> {
         let now = self.now;
         let mut events = 0usize;
 
         // Stage -1: reactive sleep/wake transitions.
-        self.update_sleep_states(now);
+        self.update_sleep_states(now, probe.as_deref_mut());
 
         // Stage 0: deliver credits.
         events += self.deliver_credits(now);
@@ -366,14 +386,14 @@ impl Network {
         events += self.deliver_flits(now)?;
 
         // Stage 2: NI injection (BW + RC at the local port).
-        events += self.inject(now);
+        events += self.inject(now, probe.as_deref_mut());
 
         // Stage 3: VC allocation.
-        events += self.vc_allocate(now);
+        events += self.vc_allocate(now, probe.as_deref_mut());
 
         // Stage 4: switch allocation + traversal.
         let ejections = {
-            let (granted, ejections) = self.switch_allocate(now);
+            let (granted, ejections) = self.switch_allocate(now, probe);
             events += granted;
             ejections
         };
@@ -384,11 +404,11 @@ impl Network {
 
     /// Reactive-gating bookkeeping: complete wakeups, put idle routers to
     /// sleep, and account asleep cycles.
-    fn update_sleep_states(&mut self, now: u64) {
+    fn update_sleep_states(&mut self, now: u64, mut probe: Option<&mut (dyn Probe + '_)>) {
         let GatingMode::Reactive { idle_threshold, .. } = self.gating else {
             return;
         };
-        for r in &mut self.routers {
+        for (node, r) in self.routers.iter_mut().enumerate() {
             if !r.powered_on {
                 continue;
             }
@@ -396,11 +416,17 @@ impl Network {
                 SleepState::Waking { ready_at } if ready_at <= now => {
                     r.sleep = SleepState::On;
                     r.last_activity = now;
+                    if let Some(p) = probe.as_deref_mut() {
+                        p.on_sleep_transition(now, NodeId(node), false);
+                    }
                 }
                 SleepState::On
                     if !r.holds_state() && now.saturating_sub(r.last_activity) >= idle_threshold =>
                 {
                     r.sleep = SleepState::Asleep;
+                    if let Some(p) = probe.as_deref_mut() {
+                        p.on_sleep_transition(now, NodeId(node), true);
+                    }
                 }
                 _ => {}
             }
@@ -530,7 +556,7 @@ impl Network {
         }
     }
 
-    fn inject(&mut self, now: u64) -> usize {
+    fn inject(&mut self, now: u64, mut probe: Option<&mut (dyn Probe + '_)>) -> usize {
         let mut events = 0;
         for node in 0..self.mesh.len() {
             // A sleeping router must wake before its NI can inject.
@@ -573,6 +599,9 @@ impl Network {
                     let done = seq + 1 == pkt.len;
                     self.nis[node].injecting = if done { None } else { Some((pkt, seq + 1, head_cycle)) };
                     self.buffer_write(node, Port::Local, v, flit, now);
+                    if let Some(p) = probe.as_deref_mut() {
+                        p.on_injection(now, NodeId(node));
+                    }
                     events += 1;
                 }
             }
@@ -580,7 +609,7 @@ impl Network {
         events
     }
 
-    fn vc_allocate(&mut self, now: u64) -> usize {
+    fn vc_allocate(&mut self, now: u64, mut probe: Option<&mut (dyn Probe + '_)>) -> usize {
         let mut grants = 0;
         let vcs = self.params.vcs_per_port;
         let id_space = Port::COUNT * vcs;
@@ -650,6 +679,9 @@ impl Network {
                     if router.counting {
                         router.activity.vc_allocations += 1;
                     }
+                    if let Some(p) = probe.as_deref_mut() {
+                        p.on_vc_alloc(now, NodeId(node));
+                    }
                     last_granted_id = Some(id);
                     grants += 1;
                 }
@@ -661,7 +693,7 @@ impl Network {
         grants
     }
 
-    fn switch_allocate(&mut self, now: u64) -> (usize, usize) {
+    fn switch_allocate(&mut self, now: u64, mut probe: Option<&mut (dyn Probe + '_)>) -> (usize, usize) {
         let mut grants = 0;
         let mut ejections = 0;
         let vcs = self.params.vcs_per_port;
@@ -723,7 +755,11 @@ impl Network {
                 };
                 self.routers[node].sa_in_rr[in_port] = (in_vc + 1) % vcs;
                 self.routers[node].sa_out_rr[out_idx] = (in_port + 1) % Port::COUNT;
-                let ejected = self.traverse(node, in_port, in_vc, out_port, out_vc, now);
+                if let Some(p) = probe.as_deref_mut() {
+                    p.on_switch_grant(now, NodeId(node));
+                }
+                let ejected =
+                    self.traverse(node, in_port, in_vc, out_port, out_vc, now, probe.as_deref_mut());
                 grants += 1;
                 if ejected {
                     ejections += 1;
@@ -734,6 +770,7 @@ impl Network {
     }
 
     /// ST + LT for one granted flit; returns whether it was an ejection.
+    #[allow(clippy::too_many_arguments)]
     fn traverse(
         &mut self,
         node: usize,
@@ -742,6 +779,7 @@ impl Network {
         out_port: Port,
         out_vc: usize,
         now: u64,
+        probe: Option<&mut (dyn Probe + '_)>,
     ) -> bool {
         let flit = {
             let router = &mut self.routers[node];
@@ -789,6 +827,9 @@ impl Network {
                     flit,
                     at: now + self.params.link_delay,
                 });
+                if let Some(p) = probe {
+                    p.on_ejection(now, NodeId(node));
+                }
                 true
             }
             Port::Dir(d) => {
@@ -808,6 +849,9 @@ impl Network {
                     vc: out_vc,
                     arrive: now + latency,
                 });
+                if let Some(p) = probe {
+                    p.on_link_traversal(now, NodeId(node), next);
+                }
                 false
             }
         };

@@ -12,6 +12,7 @@ use std::collections::HashMap;
 use crate::error::SimError;
 use crate::network::Network;
 use crate::packet::PacketId;
+use crate::probe::{Probe, SimPhase};
 use crate::router::RouterActivity;
 use crate::stats::{LatencySample, SimStats};
 use crate::traffic::TrafficGen;
@@ -100,7 +101,28 @@ impl Simulation {
     ///
     /// Propagates [`SimError::DarkRouterEntered`] from the network and raises
     /// [`SimError::Deadlock`] if the watchdog detects no forward progress.
-    pub fn run(mut self) -> Result<SimOutcome, SimError> {
+    pub fn run(self) -> Result<SimOutcome, SimError> {
+        self.run_observed(None)
+    }
+
+    /// Runs to completion with an optional [`Probe`] attached.
+    ///
+    /// On top of the per-cycle pipeline hooks (see
+    /// [`Network::step_observed`]), the driver reports methodology phase
+    /// boundaries ([`Probe::on_phase`]), epoch snapshots every
+    /// [`Probe::epoch_interval`] cycles ([`Probe::on_epoch`], with read
+    /// access to the whole network), and every measured packet delivery
+    /// ([`Probe::on_packet_delivered`]). The probe never influences the
+    /// run: the returned [`SimOutcome`] is bit-identical to [`Simulation::run`].
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Simulation::run`].
+    pub fn run_observed(
+        mut self,
+        mut probe: Option<&mut (dyn Probe + '_)>,
+    ) -> Result<SimOutcome, SimError> {
+        let epoch = probe.as_deref_mut().map_or(0, |p| p.epoch_interval());
         let mut packet_latency = LatencySample::new();
         let mut network_latency = LatencySample::new();
         let mut flits_delivered = 0u64;
@@ -122,16 +144,30 @@ impl Simulation {
         let mut sleep_stats = Vec::new();
         let mut saturated = false;
 
+        if let Some(p) = probe.as_deref_mut() {
+            p.on_phase(SimPhase::Warmup, self.net.now());
+        }
         loop {
             let now = self.net.now();
             if now == warmup_end {
                 self.net.set_counting(true);
+                if let Some(p) = probe.as_deref_mut() {
+                    p.on_phase(SimPhase::Measure, now);
+                }
             }
             if now == measure_end {
                 self.net.set_counting(false);
                 activity = self.net.activity();
                 activity_per_router = self.net.activity_per_router();
                 sleep_stats = self.net.sleep_stats();
+                if let Some(p) = probe.as_deref_mut() {
+                    p.on_phase(SimPhase::Drain, now);
+                }
+            }
+            if epoch != 0 && now.is_multiple_of(epoch) {
+                if let Some(p) = probe.as_deref_mut() {
+                    p.on_epoch(now, &self.net);
+                }
             }
             if now >= hard_end {
                 saturated = true;
@@ -150,7 +186,7 @@ impl Simulation {
                 self.net.enqueue_packet(p);
             }
 
-            let report = self.net.step()?;
+            let report = self.net.step_observed(probe.as_deref_mut())?;
             for e in self.net.drain_ejections() {
                 let f = e.flit;
                 if in_measure {
@@ -166,9 +202,14 @@ impl Simulation {
                 if f.kind.is_tail() {
                     packets_delivered += 1;
                     measured_ejected += 1;
-                    packet_latency.record(e.at.saturating_sub(f.created));
+                    let plat = e.at.saturating_sub(f.created);
                     let head_at = head_inject.remove(&f.packet).unwrap_or(f.injected);
-                    network_latency.record(e.at.saturating_sub(head_at));
+                    let nlat = e.at.saturating_sub(head_at);
+                    packet_latency.record(plat);
+                    network_latency.record(nlat);
+                    if let Some(p) = probe.as_deref_mut() {
+                        p.on_packet_delivered(e.at, plat, nlat);
+                    }
                 }
             }
 

@@ -1,9 +1,29 @@
 //! Latency and throughput statistics.
+//!
+//! Two complementary accumulators:
+//!
+//! - [`LatencySample`] stores every observation exactly and answers exact
+//!   nearest-rank quantiles. The sorted order is computed lazily and
+//!   **cached** (invalidated on the next [`LatencySample::record`]), so a
+//!   burst of quantile queries after a run costs one sort total instead of
+//!   one clone-and-sort per call.
+//! - [`StreamingHistogram`] is a log-bucketed (HDR-style) sketch: O(1)
+//!   record, O(buckets) quantile, fixed memory, mergeable — the right shape
+//!   for always-on telemetry where storing every observation is too much.
+
+use std::cell::{Cell, RefCell};
 
 /// Online accumulator for a latency population.
+///
+/// Values are stored exactly; the sort needed by [`LatencySample::quantile`]
+/// runs at most once per batch of records (interior-mutability cache).
 #[derive(Debug, Clone, Default)]
 pub struct LatencySample {
-    values: Vec<u64>,
+    /// Observations. Order is not part of the public contract: the quantile
+    /// cache sorts this vector in place behind a `RefCell`.
+    values: RefCell<Vec<u64>>,
+    /// Whether `values` is currently sorted ascending.
+    sorted: Cell<bool>,
 }
 
 impl LatencySample {
@@ -14,57 +34,256 @@ impl LatencySample {
 
     /// Records one latency observation (cycles).
     pub fn record(&mut self, cycles: u64) {
-        self.values.push(cycles);
+        // `get_mut` borrows statically through `&mut self`: recording is as
+        // cheap as a plain `Vec::push`, no runtime borrow bookkeeping.
+        self.values.get_mut().push(cycles);
+        self.sorted.set(false);
     }
 
     /// Number of observations.
     pub fn count(&self) -> usize {
-        self.values.len()
+        self.values.borrow().len()
     }
 
     /// Arithmetic mean, or `None` when empty.
     pub fn mean(&self) -> Option<f64> {
-        if self.values.is_empty() {
+        let values = self.values.borrow();
+        if values.is_empty() {
             return None;
         }
-        Some(self.values.iter().sum::<u64>() as f64 / self.values.len() as f64)
+        Some(values.iter().sum::<u64>() as f64 / values.len() as f64)
     }
 
     /// Maximum observation.
     pub fn max(&self) -> Option<u64> {
-        self.values.iter().copied().max()
+        self.values.borrow().iter().copied().max()
     }
 
     /// Minimum observation.
     pub fn min(&self) -> Option<u64> {
-        self.values.iter().copied().min()
+        self.values.borrow().iter().copied().min()
     }
 
-    /// `q`-quantile (0.0..=1.0) by nearest-rank on a sorted copy.
+    /// Sorts the backing store once; subsequent quantile calls are O(1)
+    /// until the next `record`.
+    fn ensure_sorted(&self) {
+        if !self.sorted.get() {
+            self.values.borrow_mut().sort_unstable();
+            self.sorted.set(true);
+        }
+    }
+
+    /// `q`-quantile (0.0..=1.0) by nearest-rank on the (cached) sorted
+    /// order.
     ///
     /// # Panics
     ///
     /// Panics if `q` is outside `[0, 1]`.
     pub fn quantile(&self, q: f64) -> Option<u64> {
         assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
-        if self.values.is_empty() {
+        self.ensure_sorted();
+        let values = self.values.borrow();
+        if values.is_empty() {
             return None;
         }
-        let mut sorted = self.values.clone();
-        sorted.sort_unstable();
-        let rank = ((q * (sorted.len() as f64 - 1.0)).round() as usize).min(sorted.len() - 1);
-        Some(sorted[rank])
+        let rank = ((q * (values.len() as f64 - 1.0)).round() as usize).min(values.len() - 1);
+        Some(values[rank])
     }
 
     /// Histogram with the given bucket width; returns `(bucket_start, count)`
     /// pairs for nonempty buckets in ascending order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket` is zero.
     pub fn histogram(&self, bucket: u64) -> Vec<(u64, usize)> {
         assert!(bucket > 0, "bucket width must be positive");
         let mut map = std::collections::BTreeMap::new();
-        for &v in &self.values {
+        for &v in self.values.borrow().iter() {
             *map.entry(v / bucket * bucket).or_insert(0) += 1;
         }
         map.into_iter().collect()
+    }
+
+    /// Copies every observation into a [`StreamingHistogram`] (telemetry
+    /// export).
+    pub fn to_streaming(&self) -> StreamingHistogram {
+        let mut h = StreamingHistogram::new();
+        for &v in self.values.borrow().iter() {
+            h.record(v);
+        }
+        h
+    }
+}
+
+/// Sub-bucket resolution of [`StreamingHistogram`]: each power-of-two range
+/// is split into `2^SUB_BITS` linear sub-buckets, bounding the relative
+/// quantile error at `2^-SUB_BITS` (~3.1%).
+const SUB_BITS: u32 = 5;
+const SUB: usize = 1 << SUB_BITS;
+/// Bucket count covering the full `u64` range at `SUB_BITS` resolution.
+const BUCKETS: usize = SUB + (64 - SUB_BITS as usize) * SUB;
+
+/// A log-bucketed streaming histogram: O(1) [`StreamingHistogram::record`],
+/// O(buckets) [`StreamingHistogram::quantile`], fixed ~15 KiB footprint.
+///
+/// Values below `2^SUB_BITS` are stored exactly; larger values land in
+/// buckets of relative width `2^-SUB_BITS` (~3.1%), so reported quantiles
+/// are within that bound of the exact nearest-rank answer. Histograms over
+/// the same bucketing merge losslessly ([`StreamingHistogram::merge`]),
+/// which is what lets per-point telemetry aggregate across a parallel run.
+#[derive(Clone)]
+pub struct StreamingHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl std::fmt::Debug for StreamingHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamingHistogram")
+            .field("count", &self.total)
+            .field("min", &self.min())
+            .field("max", &self.max())
+            .field("mean", &self.mean())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for StreamingHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StreamingHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        StreamingHistogram {
+            counts: vec![0; BUCKETS],
+            total: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// The bucket index of a value. Exact for `v < 2^SUB_BITS`; otherwise
+    /// the top `SUB_BITS + 1` significant bits select the bucket.
+    fn index(v: u64) -> usize {
+        if v < SUB as u64 {
+            return v as usize;
+        }
+        let e = 63 - v.leading_zeros(); // e >= SUB_BITS
+        let sub = ((v >> (e - SUB_BITS)) as usize) & (SUB - 1);
+        SUB + (e - SUB_BITS) as usize * SUB + sub
+    }
+
+    /// Lower bound of bucket `idx`.
+    fn lower_bound(idx: usize) -> u64 {
+        if idx < SUB {
+            return idx as u64;
+        }
+        let e = SUB_BITS + ((idx - SUB) / SUB) as u32;
+        let sub = ((idx - SUB) % SUB) as u64;
+        (SUB as u64 + sub) << (e - SUB_BITS)
+    }
+
+    /// Representative value reported for bucket `idx` (midpoint, exact for
+    /// the unit-width low buckets).
+    fn representative(idx: usize) -> u64 {
+        let lower = Self::lower_bound(idx);
+        if idx < SUB {
+            return lower;
+        }
+        let e = SUB_BITS + ((idx - SUB) / SUB) as u32;
+        let width = 1u64 << (e - SUB_BITS);
+        lower + width / 2
+    }
+
+    /// Records one observation. O(1).
+    pub fn record(&mut self, v: u64) {
+        self.record_n(v, 1);
+    }
+
+    /// Records `n` identical observations. O(1).
+    pub fn record_n(&mut self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.counts[Self::index(v)] += n;
+        self.total += n;
+        self.sum += u128::from(v) * u128::from(n);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Exact minimum observation, or `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.total > 0).then_some(self.min)
+    }
+
+    /// Exact maximum observation, or `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.total > 0).then_some(self.max)
+    }
+
+    /// Exact arithmetic mean, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.total > 0).then(|| self.sum as f64 / self.total as f64)
+    }
+
+    /// `q`-quantile (0.0..=1.0) by nearest-rank over the buckets: the
+    /// representative value of the bucket holding the rank. Within
+    /// `2^-SUB_BITS` (~3.1%) of the exact answer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+        if self.total == 0 {
+            return None;
+        }
+        let rank = ((q * (self.total as f64 - 1.0)).round() as u64).min(self.total - 1);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if c > 0 && seen > rank {
+                // Clamp to the observed range so sparse extremes stay exact.
+                return Some(Self::representative(idx).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Adds every bucket of `other` into `self` (lossless for identical
+    /// bucketing, which all histograms of this type share).
+    pub fn merge(&mut self, other: &StreamingHistogram) {
+        for (a, &b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Nonempty buckets as `(lower_bound, count)` pairs, ascending.
+    pub fn buckets(&self) -> Vec<(u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (Self::lower_bound(i), c))
+            .collect()
     }
 }
 
@@ -153,6 +372,21 @@ mod tests {
     }
 
     #[test]
+    fn quantile_cache_survives_interleaved_records() {
+        let mut s = LatencySample::new();
+        for v in [5u64, 1, 9] {
+            s.record(v);
+        }
+        assert_eq!(s.quantile(0.0), Some(1));
+        assert_eq!(s.quantile(1.0), Some(9));
+        // Invalidate the cache and query again: the new value must be seen.
+        s.record(0);
+        assert_eq!(s.quantile(0.0), Some(0));
+        assert_eq!(s.quantile(1.0), Some(9));
+        assert_eq!(s.mean(), Some(15.0 / 4.0));
+    }
+
+    #[test]
     fn histogram_buckets() {
         let mut s = LatencySample::new();
         for v in [1, 2, 9, 10, 11, 25] {
@@ -185,5 +419,101 @@ mod tests {
         let mut s = LatencySample::new();
         s.record(1);
         let _ = s.quantile(1.5);
+    }
+
+    #[test]
+    fn streaming_empty_has_no_stats() {
+        let h = StreamingHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert!(h.mean().is_none());
+        assert!(h.quantile(0.5).is_none());
+        assert!(h.min().is_none());
+        assert!(h.max().is_none());
+        assert!(h.buckets().is_empty());
+    }
+
+    #[test]
+    fn streaming_small_values_are_exact() {
+        let mut h = StreamingHistogram::new();
+        for v in [0u64, 1, 2, 3, 30, 31] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), Some(0));
+        assert_eq!(h.quantile(1.0), Some(31));
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(31));
+        assert_eq!(h.count(), 6);
+    }
+
+    #[test]
+    fn streaming_quantile_error_is_bounded() {
+        let mut exact = LatencySample::new();
+        let mut h = StreamingHistogram::new();
+        // A skewed population spanning several octaves.
+        let mut x = 1u64;
+        for i in 0..10_000u64 {
+            let v = 10 + (x % 5000) + i % 7;
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            exact.record(v);
+            h.record(v);
+        }
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
+            let e = exact.quantile(q).unwrap() as f64;
+            let a = h.quantile(q).unwrap() as f64;
+            assert!(
+                (a - e).abs() <= e * 0.04 + 1.0,
+                "q={q}: streaming {a} vs exact {e}"
+            );
+        }
+        assert_eq!(h.count(), exact.count() as u64);
+        let me = exact.mean().unwrap();
+        assert!((h.mean().unwrap() - me).abs() < 1e-9, "mean is exact");
+    }
+
+    #[test]
+    fn streaming_bucket_bounds_are_consistent() {
+        // lower_bound(index(v)) <= v for all v across octave boundaries.
+        for v in (0u64..2000).chain([1 << 20, (1 << 20) + 13, u64::MAX / 2, u64::MAX]) {
+            let idx = StreamingHistogram::index(v);
+            assert!(idx < BUCKETS, "index {idx} out of range for {v}");
+            let lo = StreamingHistogram::lower_bound(idx);
+            assert!(lo <= v, "lower bound {lo} above value {v}");
+            if idx + 1 < BUCKETS {
+                let next = StreamingHistogram::lower_bound(idx + 1);
+                assert!(v < next, "value {v} beyond next bucket {next}");
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_merge_equals_combined_stream() {
+        let mut a = StreamingHistogram::new();
+        let mut b = StreamingHistogram::new();
+        let mut all = StreamingHistogram::new();
+        for v in 0..500u64 {
+            let target = if v % 2 == 0 { &mut a } else { &mut b };
+            target.record(v * 3);
+            all.record(v * 3);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+        assert_eq!(a.buckets(), all.buckets());
+        for q in [0.25, 0.5, 0.75] {
+            assert_eq!(a.quantile(q), all.quantile(q));
+        }
+    }
+
+    #[test]
+    fn sample_exports_to_streaming() {
+        let mut s = LatencySample::new();
+        for v in [4u64, 8, 100, 1000] {
+            s.record(v);
+        }
+        let h = s.to_streaming();
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.min(), Some(4));
+        assert_eq!(h.max(), Some(1000));
     }
 }

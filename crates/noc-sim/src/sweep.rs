@@ -15,6 +15,7 @@
 
 use crate::error::SimError;
 use crate::network::Network;
+use crate::probe::Probe;
 use crate::router::RouterParams;
 use crate::routing::RoutingFunction;
 use crate::sim::{SimConfig, Simulation};
@@ -160,6 +161,30 @@ impl LoadSweep {
     where
         F: Fn() -> Box<dyn RoutingFunction> + ?Sized,
     {
+        self.run_point_observed(index, placement, make_routing, None)
+    }
+
+    /// [`LoadSweep::run_point`] with an optional [`Probe`] attached to the
+    /// point's simulation. The probe observes but cannot perturb: the
+    /// returned [`SweepPoint`] is bit-identical to the unobserved call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors.
+    pub fn run_point_observed<F>(
+        &self,
+        index: usize,
+        placement: &Placement,
+        make_routing: &F,
+        probe: Option<&mut (dyn Probe + '_)>,
+    ) -> Result<SweepPoint, SimError>
+    where
+        F: Fn() -> Box<dyn RoutingFunction> + ?Sized,
+    {
         let load = self.loads[index];
         let net = Network::new(self.mesh, self.params, make_routing())?;
         let traffic = TrafficGen::new(
@@ -169,7 +194,7 @@ impl LoadSweep {
             self.packet_len,
             point_seed(self.seed, index),
         )?;
-        let out = Simulation::new(net, traffic, self.sim_config).run()?;
+        let out = Simulation::new(net, traffic, self.sim_config).run_observed(probe)?;
         let nothing_delivered = out.stats.packet_latency.count() == 0;
         Ok(SweepPoint {
             offered: load,

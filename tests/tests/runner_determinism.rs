@@ -3,6 +3,9 @@
 //! path, at any worker count, because every operating point's seed is a
 //! pure function of `(base_seed, point_index)`.
 
+use std::sync::Arc;
+
+use noc_sim::probe::{EventCounts, TimeSeriesObserver};
 use noc_sim::routing::{RoutingFunction, XyRouting};
 use noc_sim::sim::SimConfig;
 use noc_sim::sweep::{point_seed, LoadSweep};
@@ -12,6 +15,7 @@ use noc_sprinting::cdor::CdorRouting;
 use noc_sprinting::experiment::Experiment;
 use noc_sprinting::runner::{ExperimentRunner, ResultCache, SyntheticBaseline, SyntheticJob};
 use noc_sprinting::sprint_topology::SprintSet;
+use noc_sprinting::telemetry::SpanRecorder;
 
 fn quick_sweep() -> (LoadSweep, Placement) {
     let mesh = Mesh2D::paper_4x4();
@@ -54,6 +58,55 @@ fn parallel_cdor_sweep_matches_serial() {
         .run_sweep(&sweep, &placement, make)
         .expect("parallel sweep");
     assert_eq!(parallel, serial);
+}
+
+#[test]
+fn observed_sweep_is_bit_identical_to_unobserved_at_any_worker_count() {
+    // The telemetry contract: probes observe but never perturb. A sweep run
+    // with a TimeSeriesObserver on every point must produce a SweepReport
+    // bit-identical (f64 PartialEq) to the probe-free serial run, at any
+    // worker count.
+    let (sweep, placement) = quick_sweep();
+    let make = || Box::new(XyRouting) as Box<dyn RoutingFunction>;
+    let baseline = sweep.run(&placement, make).expect("unobserved serial");
+    for workers in [1, 2, 4] {
+        let runner = ExperimentRunner::with_workers(workers);
+        let (observed, probes) = runner
+            .run_sweep_observed(&sweep, &placement, make, |_| TimeSeriesObserver::new(250))
+            .expect("observed sweep");
+        assert_eq!(
+            observed, baseline,
+            "observation must not perturb results ({workers} workers)"
+        );
+        assert_eq!(probes.len(), sweep.loads.len());
+        for (i, p) in probes.iter().enumerate() {
+            assert!(!p.samples().is_empty(), "point {i} produced no epochs");
+        }
+    }
+}
+
+#[test]
+fn span_recorder_and_event_counters_do_not_perturb_results() {
+    // Layering the runner-side SpanRecorder on top of per-point EventCounts
+    // probes still leaves the report bit-identical, and both telemetry
+    // sinks actually see the run.
+    let (sweep, placement) = quick_sweep();
+    let make = || Box::new(XyRouting) as Box<dyn RoutingFunction>;
+    let baseline = sweep.run(&placement, make).expect("unobserved serial");
+    let rec = Arc::new(SpanRecorder::new());
+    let runner = ExperimentRunner::with_workers(3).with_span_recorder(Arc::clone(&rec));
+    let (observed, counters) = runner
+        .run_sweep_observed(&sweep, &placement, make, |_| EventCounts::default())
+        .expect("observed sweep");
+    assert_eq!(observed, baseline);
+    assert_eq!(rec.spans().len(), sweep.loads.len());
+    for c in &counters {
+        assert!(c.injections > 0, "counter probe saw no injections");
+        assert!(
+            c.ejections > 0 && c.ejections <= c.injections,
+            "ejections must be positive and bounded by injections"
+        );
+    }
 }
 
 #[test]
