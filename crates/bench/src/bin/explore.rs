@@ -396,6 +396,7 @@ fn write_telemetry(
         cache_hits: 0,
         cache_misses: points.len() as u64,
         points,
+        faults: vec![],
     };
     let manifest_path = dir.join("explore.manifest.jsonl");
     let trace_path = dir.join("explore.trace.json");

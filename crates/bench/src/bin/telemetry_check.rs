@@ -1,11 +1,13 @@
 //! `telemetry_check DIR` — validate the telemetry artifacts in a directory.
 //!
 //! Every `*.manifest.jsonl` must parse as a [`RunManifest`] with a coherent
-//! seed schedule, and every `*.trace.json` must be a well-formed Chrome
-//! Trace Event file. Exits nonzero (with a message per offending file) if
-//! anything is malformed or if the directory holds no telemetry at all —
-//! which makes it a usable CI smoke check after running a figure binary
-//! with `--telemetry DIR`.
+//! seed schedule, every `"fault"` record must name a valid point and a
+//! non-empty event kind, every point carrying packet-accounting metrics
+//! must satisfy `generated == delivered + dropped + outstanding`, and every
+//! `*.trace.json` must be a well-formed Chrome Trace Event file. Exits
+//! nonzero (with a message per offending file) if anything is malformed or
+//! if the directory holds no telemetry at all — which makes it a usable CI
+//! smoke check after running a figure binary with `--telemetry DIR`.
 
 use noc_sprinting::telemetry::{validate_chrome_trace, RunManifest};
 
@@ -39,6 +41,38 @@ fn check_manifest(m: &RunManifest) -> Result<(), String> {
             m.config_hash
         ));
     }
+    for (i, f) in m.faults.iter().enumerate() {
+        if f.point >= m.points.len() {
+            return Err(format!(
+                "fault record {i} names point {} of {}",
+                f.point,
+                m.points.len()
+            ));
+        }
+        if f.kind.is_empty() {
+            return Err(format!("fault record {i} has an empty kind"));
+        }
+    }
+    // Fault-aware runs must account for every measured packet: generated ==
+    // delivered + dropped + outstanding, per point (skipped for manifests
+    // whose points don't carry the accounting metrics).
+    for p in &m.points {
+        let get = |k: &str| p.metrics.iter().find(|(n, _)| n == k).map(|&(_, v)| v);
+        if let (Some(gen), Some(del), Some(drop), Some(out)) = (
+            get("measured_generated"),
+            get("measured_delivered"),
+            get("measured_dropped"),
+            get("measured_outstanding"),
+        ) {
+            if gen != del + drop + out {
+                return Err(format!(
+                    "point {} loses packets: generated {gen} != {del} delivered + \
+                     {drop} dropped + {out} outstanding",
+                    p.index
+                ));
+            }
+        }
+    }
     Ok(())
 }
 
@@ -70,10 +104,12 @@ fn main() {
                 .and_then(|m| check_manifest(&m).map(|()| m));
             match outcome {
                 Ok(m) => println!(
-                    "ok {name}: {} points, {} workers, {} seeds, config {:#018x}",
+                    "ok {name}: {} points, {} workers, {} seeds, {} fault records, \
+                     config {:#018x}",
                     m.points.len(),
                     m.workers,
                     m.seed_schedule.len(),
+                    m.faults.len(),
                     m.config_hash
                 ),
                 Err(e) => {

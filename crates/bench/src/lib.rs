@@ -30,10 +30,10 @@ pub fn workers_from_env() -> Option<usize> {
         .filter(|&w| w > 0)
 }
 
-/// Telemetry output directory for the figure binaries: the `--telemetry
-/// <dir>` (or `--telemetry=<dir>`) command-line flag wins, falling back to
-/// the `NOC_BENCH_TELEMETRY` environment variable; `None` disables
-/// telemetry output entirely.
+/// Telemetry output directory for the figure binaries: the
+/// `--telemetry <dir>` (or `--telemetry=<dir>`) command-line flag wins,
+/// falling back to the `NOC_BENCH_TELEMETRY` environment variable; `None`
+/// disables telemetry output entirely.
 pub fn telemetry_dir_from_env() -> Option<PathBuf> {
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -225,6 +225,7 @@ impl FigureHarness {
             cache_hits: self.cache.hits(),
             cache_misses: self.cache.misses(),
             points,
+            faults: vec![],
         };
         let manifest_path = t.dir.join(format!("{figure}.manifest.jsonl"));
         let trace_path = t.dir.join(format!("{figure}.trace.json"));

@@ -4,7 +4,7 @@
 //! a tile's router would normally cut off its bank. The paper adopts the
 //! NoRD-style remedy: dedicated **bypass paths** let cache traffic skirt
 //! around power-gated routers without waking them — "some complimentary
-//! techniques such as bypass paths [4] can be leveraged to avoid completely
+//! techniques such as bypass paths \[4\] can be leveraged to avoid completely
 //! isolating cache banks from the network. We accommodate this method in
 //! our design."
 //!

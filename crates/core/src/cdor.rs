@@ -20,7 +20,7 @@
 //! channel-dependency graph and checking it for cycles.
 
 use noc_sim::geometry::{Direction, NodeId, Port};
-use noc_sim::routing::RoutingFunction;
+use noc_sim::routing::{RouteDecision, RoutingFunction};
 use noc_sim::topology::Mesh2D;
 
 use crate::convex::is_convex;
@@ -137,6 +137,54 @@ impl RoutingFunction for CdorRouting {
         } else {
             Port::Local
         }
+    }
+
+    /// Fault-aware CDOR fallback: when the primary CDOR port is unusable,
+    /// try the other minimal turn **within the convex region**; when no
+    /// minimal in-region hop is usable, drop.
+    ///
+    /// Restricting the fallback to strictly distance-reducing, in-region
+    /// hops keeps two properties for free:
+    ///
+    /// - **no livelock** — every hop reduces the Manhattan distance, so any
+    ///   packet that keeps moving arrives within `diameter` hops;
+    /// - **no dark-router entry** — fallbacks never leave the active region,
+    ///   so the sprinting gating contract still holds under faults.
+    ///
+    /// The static deadlock-freedom proof (see [`is_deadlock_free`]) covers
+    /// the fault-free turn set; fallback turns can in principle create
+    /// dependency cycles, which is why the simulator keeps its watchdog
+    /// armed under fault injection (see `FAULT_MODEL.md`).
+    fn route_degraded(
+        &self,
+        mesh: &Mesh2D,
+        current: NodeId,
+        dst: NodeId,
+        usable: &dyn Fn(NodeId, NodeId) -> bool,
+    ) -> RouteDecision {
+        let primary = self.route(mesh, current, dst);
+        let Some(pd) = primary.direction() else {
+            return RouteDecision::Forward(Port::Local);
+        };
+        let next = mesh
+            .neighbor(current, pd)
+            .expect("CDOR routed off the mesh");
+        if usable(current, next) {
+            return RouteDecision::Forward(primary);
+        }
+        let here = mesh.hops(current, dst);
+        for d in Direction::ALL {
+            if d == pd {
+                continue;
+            }
+            let Some(next) = mesh.neighbor(current, d) else {
+                continue;
+            };
+            if self.active[next.0] && mesh.hops(next, dst) < here && usable(current, next) {
+                return RouteDecision::Forward(Port::Dir(d));
+            }
+        }
+        RouteDecision::Drop
     }
 }
 
@@ -367,6 +415,117 @@ mod tests {
                     }
                 }
                 assert!(is_deadlock_free(&mesh, &cdor, set.mask()));
+            }
+        }
+    }
+
+    #[test]
+    fn degraded_cdor_takes_the_legal_alternative_minimal_turn() {
+        // Level-4 region {0, 1, 4, 5}. Kill 0 -> 1: routing 0 -> 5 falls
+        // back to the south hop (via 4), staying minimal and in-region.
+        let mesh = Mesh2D::paper_4x4();
+        let set = SprintSet::paper(4);
+        let cdor = CdorRouting::new(&set);
+        let usable = |a: NodeId, b: NodeId| !(a == NodeId(0) && b == NodeId(1));
+        assert_eq!(
+            cdor.route_degraded(&mesh, NodeId(0), NodeId(5), &usable),
+            RouteDecision::Forward(Port::Dir(Direction::South))
+        );
+        // Healthy link: primary CDOR route unchanged.
+        let all = |_: NodeId, _: NodeId| true;
+        assert_eq!(
+            cdor.route_degraded(&mesh, NodeId(0), NodeId(5), &all),
+            RouteDecision::Forward(Port::Dir(Direction::East))
+        );
+    }
+
+    #[test]
+    fn degraded_cdor_drops_when_the_only_legal_exit_is_dead() {
+        // Level-4 region {0, 1, 4, 5}: 0 -> 1 has exactly one minimal hop
+        // (east). With it dead there is no in-region alternative — clean drop.
+        let mesh = Mesh2D::paper_4x4();
+        let set = SprintSet::paper(4);
+        let cdor = CdorRouting::new(&set);
+        let usable = |a: NodeId, b: NodeId| !(a == NodeId(0) && b == NodeId(1));
+        assert_eq!(
+            cdor.route_degraded(&mesh, NodeId(0), NodeId(1), &usable),
+            RouteDecision::Drop
+        );
+    }
+
+    #[test]
+    fn degraded_cdor_never_leaves_the_region_on_boundary_faults() {
+        // Level-8 region (3x3 block minus dark corner 10): kill the
+        // boundary link 9 -> 5. The paper's 9 -> 6 detour [9, 5, 6] is
+        // broken and the only minimal alternative goes east through dark
+        // node 10 — illegal, so the packet is dropped rather than routed
+        // through a dark router.
+        let mesh = Mesh2D::paper_4x4();
+        let set = SprintSet::paper(8);
+        let cdor = CdorRouting::new(&set);
+        let usable = |a: NodeId, b: NodeId| !(a == NodeId(9) && b == NodeId(5));
+        assert_eq!(
+            cdor.route_degraded(&mesh, NodeId(9), NodeId(6), &usable),
+            RouteDecision::Drop,
+            "fallback must not use dark node 10"
+        );
+        // A boundary fault *with* a legal in-region alternative: with
+        // 5 -> 6 dead, routing 5 -> 2 falls back to the north hop via 1.
+        let usable = |a: NodeId, b: NodeId| !(a == NodeId(5) && b == NodeId(6));
+        assert_eq!(
+            cdor.route_degraded(&mesh, NodeId(5), NodeId(2), &usable),
+            RouteDecision::Forward(Port::Dir(Direction::North))
+        );
+    }
+
+    #[test]
+    fn degraded_cdor_drops_everything_at_an_isolated_node() {
+        // All links out of node 5 dead: every non-local destination drops,
+        // self-addressed traffic still delivers locally.
+        let mesh = Mesh2D::paper_4x4();
+        let set = SprintSet::paper(16);
+        let cdor = CdorRouting::new(&set);
+        let usable = |a: NodeId, _: NodeId| a != NodeId(5);
+        for dst in mesh.nodes() {
+            let got = cdor.route_degraded(&mesh, NodeId(5), dst, &usable);
+            if dst == NodeId(5) {
+                assert_eq!(got, RouteDecision::Forward(Port::Local));
+            } else {
+                assert_eq!(got, RouteDecision::Drop, "5 -> {dst} must drop");
+            }
+        }
+    }
+
+    #[test]
+    fn degraded_cdor_fallback_paths_stay_minimal_and_in_region() {
+        // Under a single dead link, walk every pair: any path that survives
+        // must be minimal (livelock-freedom) and inside the region.
+        let mesh = Mesh2D::paper_4x4();
+        let set = SprintSet::paper(8);
+        let cdor = CdorRouting::new(&set);
+        let dead = (NodeId(4), NodeId(5));
+        let usable = move |a: NodeId, b: NodeId| (a, b) != dead;
+        for &s in set.active_nodes() {
+            for &d in set.active_nodes() {
+                let mut cur = s;
+                let mut hops = 0u32;
+                loop {
+                    match cdor.route_degraded(&mesh, cur, d, &usable) {
+                        RouteDecision::Forward(Port::Local) => {
+                            assert_eq!(cur, d);
+                            assert_eq!(hops, mesh.hops(s, d), "non-minimal {s}->{d}");
+                            break;
+                        }
+                        RouteDecision::Forward(p) => {
+                            let dir = p.direction().unwrap();
+                            cur = mesh.neighbor(cur, dir).unwrap();
+                            assert!(set.is_active(cur), "{s}->{d} entered dark {cur}");
+                            hops += 1;
+                            assert!(hops <= mesh.hops(s, d), "livelock on {s}->{d}");
+                        }
+                        RouteDecision::Drop => break,
+                    }
+                }
             }
         }
     }

@@ -76,7 +76,10 @@ pub use bypass::BypassModel;
 pub use cdor::{is_deadlock_free, CdorRouting};
 pub use dim::{DimModel, DimOperation};
 pub use config::SystemConfig;
-pub use controller::{SprintController, SprintPolicy};
+pub use controller::{
+    BackoffPolicy, DegradedSprint, SprintController, SprintPolicy, WakeupError, WakeupFault,
+    WakeupFaults,
+};
 pub use convex::is_convex;
 pub use experiment::{Experiment, NetworkMetrics, ThermalVariant};
 pub use floorplan::Floorplan;
@@ -88,6 +91,6 @@ pub use runner::{
 pub use runtime::{JobRecord, SprintJob, SprintRuntime};
 pub use sprint_topology::{sprint_order, SprintSet};
 pub use telemetry::{
-    progress_line, validate_chrome_trace, JsonValue, ManifestPoint, RunManifest, RunnerEvent, Span,
-    SpanRecorder,
+    progress_line, validate_chrome_trace, FaultRecord, JsonValue, ManifestPoint, RunManifest,
+    RunnerEvent, Span, SpanRecorder,
 };

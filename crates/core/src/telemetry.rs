@@ -10,8 +10,9 @@
 //!   **strings**, never JSON numbers — JSON numbers are f64 and silently
 //!   lose precision above 2^53.
 //! - Manifests are JSONL: one `"run"` header object per file followed by
-//!   one `"point"` object per operating point, so they stream and `grep`
-//!   cleanly.
+//!   one `"point"` object per operating point and (for fault-injection
+//!   runs) one `"fault"` object per observed fault event, so they stream
+//!   and `grep` cleanly.
 //!
 //! Chrome traces ([`SpanRecorder::chrome_trace`]) load directly into
 //! `chrome://tracing` / `ui.perfetto.dev`.
@@ -627,6 +628,61 @@ impl ManifestPoint {
     }
 }
 
+/// One fault event observed during a run, attributed to an operating point.
+///
+/// Fault records ride in the same JSONL manifest as the points they belong
+/// to (`"type":"fault"` lines after the `"point"` lines), so a single file
+/// carries both the metrics and the fault timeline that produced them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultRecord {
+    /// Index of the operating point the fault occurred in.
+    pub point: usize,
+    /// Simulation cycle at which the fault event fired.
+    pub cycle: u64,
+    /// Event kind (e.g. `"link_down"`, `"packet_dropped"`).
+    pub kind: String,
+    /// Primary node involved (router, or link source).
+    pub node: usize,
+    /// Secondary node for link events (link destination), if any.
+    pub peer: Option<usize>,
+}
+
+impl FaultRecord {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Obj(vec![
+            ("type".to_string(), JsonValue::Str("fault".to_string())),
+            ("point".to_string(), JsonValue::Num(self.point as f64)),
+            ("cycle".to_string(), JsonValue::Num(self.cycle as f64)),
+            ("kind".to_string(), JsonValue::Str(self.kind.clone())),
+            ("node".to_string(), JsonValue::Num(self.node as f64)),
+            (
+                "peer".to_string(),
+                match self.peer {
+                    Some(p) => JsonValue::Num(p as f64),
+                    None => JsonValue::Null,
+                },
+            ),
+        ])
+    }
+
+    fn from_json(v: &JsonValue) -> Result<Self, String> {
+        Ok(FaultRecord {
+            point: req_u64(v, "point")? as usize,
+            cycle: req_u64(v, "cycle")?,
+            kind: v
+                .get("kind")
+                .and_then(JsonValue::as_str)
+                .ok_or("fault missing kind")?
+                .to_string(),
+            node: req_u64(v, "node")? as usize,
+            peer: match v.get("peer") {
+                Some(JsonValue::Null) | None => None,
+                Some(p) => Some(p.as_u64().ok_or("fault peer is not a number")? as usize),
+            },
+        })
+    }
+}
+
 /// A self-describing record of one figure/bench run: identity (figure name,
 /// combined config hash, seed schedule, worker count), cost (wall time,
 /// cache hits/misses) and every point's metrics.
@@ -650,6 +706,9 @@ pub struct RunManifest {
     pub cache_misses: u64,
     /// Per-point records, in point order.
     pub points: Vec<ManifestPoint>,
+    /// Fault events observed during the run, if any (empty for fault-free
+    /// runs — serialization omits nothing, old manifests parse as empty).
+    pub faults: Vec<FaultRecord>,
 }
 
 impl RunManifest {
@@ -695,6 +754,10 @@ impl RunManifest {
             out.push_str(&p.to_json().to_json());
             out.push('\n');
         }
+        for f in &self.faults {
+            out.push_str(&f.to_json().to_json());
+            out.push('\n');
+        }
         out
     }
 
@@ -718,10 +781,12 @@ impl RunManifest {
             .map(|v| v.as_u64().ok_or("bad seed in schedule".to_string()))
             .collect::<Result<Vec<_>, _>>()?;
         let mut points = Vec::new();
+        let mut faults = Vec::new();
         for (i, line) in lines.enumerate() {
             let v = JsonValue::parse(line).map_err(|e| format!("line {}: {e}", i + 2))?;
             match v.get("type").and_then(JsonValue::as_str) {
                 Some("point") => points.push(ManifestPoint::from_json(&v)?),
+                Some("fault") => faults.push(FaultRecord::from_json(&v)?),
                 other => return Err(format!("line {}: unexpected type {other:?}", i + 2)),
             }
         }
@@ -742,6 +807,7 @@ impl RunManifest {
             cache_hits: req_u64(&header, "cache_hits")?,
             cache_misses: req_u64(&header, "cache_misses")?,
             points,
+            faults,
         })
     }
 }
@@ -981,9 +1047,25 @@ mod tests {
                     metrics: vec![("avg_packet_latency".to_string(), 31.5)],
                 },
             ],
+            faults: vec![
+                FaultRecord {
+                    point: 1,
+                    cycle: 120,
+                    kind: "link_down".to_string(),
+                    node: 0,
+                    peer: Some(1),
+                },
+                FaultRecord {
+                    point: 1,
+                    cycle: 250,
+                    kind: "packet_dropped".to_string(),
+                    node: 5,
+                    peer: None,
+                },
+            ],
         };
         let text = m.to_jsonl();
-        assert_eq!(text.lines().count(), 3);
+        assert_eq!(text.lines().count(), 5);
         let back = RunManifest::from_jsonl(&text).unwrap();
         assert_eq!(back, m);
     }

@@ -49,6 +49,7 @@
 
 pub mod closed_loop;
 pub mod error;
+pub mod fault;
 pub mod geometry;
 pub mod network;
 pub mod packet;
@@ -65,14 +66,19 @@ pub mod vc;
 
 pub use closed_loop::{ClosedLoopSim, ClosedLoopStats, Delivered, ProtocolAgent};
 pub use error::{SimError, TopologyError};
+pub use fault::{
+    FaultEvent, FaultLog, FaultPlan, FaultState, FaultStats, RandomFaultConfig, ScheduledFault,
+};
 pub use geometry::{Coord, Direction, NodeId, Port};
 pub use network::{GatingMode, Network};
 pub use probe::{
     EpochSample, EventCounts, LatencyObserver, Probe, SimPhase, TimeSeriesObserver,
 };
 pub use router::{RouterActivity, RouterParams};
-pub use routing::{NegativeFirstRouting, RoutingFunction, XyRouting, YxRouting};
-pub use sim::{SimConfig, SimOutcome, Simulation};
+pub use routing::{
+    NegativeFirstRouting, RouteDecision, RoutingFunction, XyRouting, YxRouting,
+};
+pub use sim::{PacketAccounting, SimConfig, SimOutcome, Simulation};
 pub use stats::{SimStats, StreamingHistogram};
 pub use sweep::{LoadSweep, SweepPoint, SweepReport};
 pub use topology::Mesh2D;

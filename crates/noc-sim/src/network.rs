@@ -14,11 +14,12 @@
 use std::collections::VecDeque;
 
 use crate::error::SimError;
+use crate::fault::{FaultEvent, FaultPlan, FaultState, FaultStats};
 use crate::geometry::{NodeId, Port};
 use crate::packet::{Flit, Packet};
 use crate::probe::Probe;
 use crate::router::{Router, RouterActivity, RouterParams, SleepState};
-use crate::routing::RoutingFunction;
+use crate::routing::{RouteDecision, RoutingFunction};
 use crate::topology::Mesh2D;
 use crate::vc::VcState;
 
@@ -137,6 +138,11 @@ pub struct Network {
     /// long wires a thermal-aware floorplan creates (Fig. 5b) when SMART
     /// single-cycle repeaters are *not* assumed.
     link_latency: std::collections::HashMap<(usize, usize), u64>,
+    /// Compiled fault schedule; `None` means no fault injection, which takes
+    /// exactly the pre-fault code path (zero-fault bit-identity).
+    faults: Option<FaultState>,
+    /// Fault consequence counters (drops, reroutes, delayed wake-ups).
+    fault_stats: FaultStats,
     now: u64,
 }
 
@@ -188,8 +194,51 @@ impl Network {
             ejected: Vec::new(),
             gating: GatingMode::Static,
             link_latency: std::collections::HashMap::new(),
+            faults: None,
+            fault_stats: FaultStats::default(),
             now: 0,
         })
+    }
+
+    /// Installs a [`FaultPlan`], replacing any previous one and resetting
+    /// the fault counters. An empty plan removes fault injection entirely —
+    /// stepping then takes the identical code path (and produces bit-identical
+    /// results) to a network that never had a plan installed.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidConfig`] if the plan names links that are not mesh
+    /// links or schedules empty windows.
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan) -> Result<(), SimError> {
+        plan.validate(&self.mesh)?;
+        self.faults = if plan.is_empty() {
+            None
+        } else {
+            Some(FaultState::new(plan))
+        };
+        self.fault_stats = FaultStats::default();
+        Ok(())
+    }
+
+    /// Fault consequence counters accumulated so far.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault_stats
+    }
+
+    /// Whether a *finite* fault window (transient outage or router freeze)
+    /// is currently active. While true, stalled flits may simply be waiting
+    /// the fault out, so deadlock watchdogs should not count these cycles.
+    pub fn fault_hold_active(&self) -> bool {
+        self.faults
+            .as_ref()
+            .is_some_and(|f| f.hold_active(self.now))
+    }
+
+    /// Whether the router at `node` is frozen by a fault at `now`.
+    fn frozen(&self, node: usize, now: u64) -> bool {
+        self.faults
+            .as_ref()
+            .is_some_and(|f| f.router_frozen(node, now))
     }
 
     /// Overrides the traversal latency of the directed link `from -> to`
@@ -376,6 +425,10 @@ impl Network {
         let now = self.now;
         let mut events = 0usize;
 
+        // Stage -2: report scheduled fault transitions (observation only;
+        // not pipeline progress, so not counted in `events`).
+        self.emit_fault_events(now, probe.as_deref_mut());
+
         // Stage -1: reactive sleep/wake transitions.
         self.update_sleep_states(now, probe.as_deref_mut());
 
@@ -383,10 +436,14 @@ impl Network {
         events += self.deliver_credits(now);
 
         // Stage 1: deliver link flits (BW + RC).
-        events += self.deliver_flits(now)?;
+        events += self.deliver_flits(now, probe.as_deref_mut())?;
 
         // Stage 2: NI injection (BW + RC at the local port).
         events += self.inject(now, probe.as_deref_mut());
+
+        // Stage 2b: re-route (or drop) packets parked on permanently dead
+        // links. No-op without a fault plan.
+        events += self.fault_reroute(now, probe.as_deref_mut());
 
         // Stage 3: VC allocation.
         events += self.vc_allocate(now, probe.as_deref_mut());
@@ -400,6 +457,26 @@ impl Network {
 
         self.now += 1;
         Ok(StepReport { events, ejections })
+    }
+
+    /// Emits scheduled fault transitions whose cycle has come, in schedule
+    /// order, to the probe and the counters.
+    fn emit_fault_events(&mut self, now: u64, mut probe: Option<&mut (dyn Probe + '_)>) {
+        let Some(fs) = self.faults.as_mut() else {
+            return;
+        };
+        while let Some((cycle, ev)) = fs.pop_event_at(now) {
+            match ev {
+                FaultEvent::LinkDown { .. } => self.fault_stats.link_down_events += 1,
+                FaultEvent::LinkUp { .. } => self.fault_stats.link_up_events += 1,
+                FaultEvent::RouterFrozen { .. } => self.fault_stats.freeze_events += 1,
+                FaultEvent::RouterThawed { .. } => self.fault_stats.thaw_events += 1,
+                _ => {}
+            }
+            if let Some(p) = probe.as_deref_mut() {
+                p.on_fault(cycle, &ev);
+            }
+        }
     }
 
     /// Reactive-gating bookkeeping: complete wakeups, put idle routers to
@@ -437,26 +514,47 @@ impl Network {
     }
 
     /// Triggers a wake on a sleeping router; returns whether the router can
-    /// accept flits *this* cycle.
-    fn ensure_awake(&mut self, node: usize, now: u64) -> bool {
+    /// accept flits *this* cycle. A scheduled
+    /// [`ScheduledFault::WakeupDelay`](crate::fault::ScheduledFault) adds its
+    /// extra latency to the wake being triggered here.
+    fn ensure_awake(
+        &mut self,
+        node: usize,
+        now: u64,
+        probe: Option<&mut (dyn Probe + '_)>,
+    ) -> bool {
         match self.gating {
             GatingMode::Static => true,
-            GatingMode::Reactive { wakeup_latency, .. } => {
-                let r = &mut self.routers[node];
-                match r.sleep {
-                    SleepState::On => true,
-                    SleepState::Asleep => {
-                        r.sleep = SleepState::Waking {
-                            ready_at: now + wakeup_latency,
-                        };
-                        if r.counting {
-                            r.wakeups += 1;
+            GatingMode::Reactive { wakeup_latency, .. } => match self.routers[node].sleep {
+                SleepState::On => true,
+                SleepState::Waking { .. } => false,
+                SleepState::Asleep => {
+                    let extra = match self.faults.as_mut() {
+                        Some(fs) => fs.take_wakeup_delay(node, now),
+                        None => None,
+                    };
+                    let mut ready_at = now + wakeup_latency;
+                    if let Some(extra) = extra {
+                        ready_at += extra;
+                        self.fault_stats.wakeup_delays += 1;
+                        if let Some(p) = probe {
+                            p.on_fault(
+                                now,
+                                &FaultEvent::WakeupDelayed {
+                                    node: NodeId(node),
+                                    extra,
+                                },
+                            );
                         }
-                        false
                     }
-                    SleepState::Waking { .. } => false,
+                    let r = &mut self.routers[node];
+                    r.sleep = SleepState::Waking { ready_at };
+                    if r.counting {
+                        r.wakeups += 1;
+                    }
+                    false
                 }
-            }
+            },
         }
     }
 
@@ -492,9 +590,17 @@ impl Network {
         events
     }
 
-    fn deliver_flits(&mut self, now: u64) -> Result<usize, SimError> {
+    fn deliver_flits(
+        &mut self,
+        now: u64,
+        mut probe: Option<&mut (dyn Probe + '_)>,
+    ) -> Result<usize, SimError> {
         let mut events = 0;
         for node in 0..self.mesh.len() {
+            // A frozen router accepts nothing; arrivals wait on the link.
+            if self.frozen(node, now) {
+                continue;
+            }
             for port_idx in 0..Port::COUNT {
                 while let Some(tf) = self.link_in[node][port_idx].front() {
                     if tf.arrive > now {
@@ -508,13 +614,20 @@ impl Network {
                     }
                     // Under reactive gating, an arriving flit at a sleeping
                     // router triggers the wake and waits out the latency.
-                    if !self.ensure_awake(node, now) {
+                    if !self.ensure_awake(node, now, probe.as_deref_mut()) {
                         break;
                     }
                     let tf = self.link_in[node][port_idx]
                         .pop_front()
                         .expect("checked front");
-                    self.buffer_write(node, Port::from_index(port_idx), tf.vc, tf.flit, now);
+                    self.buffer_write(
+                        node,
+                        Port::from_index(port_idx),
+                        tf.vc,
+                        tf.flit,
+                        now,
+                        probe.as_deref_mut(),
+                    );
                     events += 1;
                 }
             }
@@ -523,8 +636,18 @@ impl Network {
     }
 
     /// BW stage: writes a flit into an input VC; runs RC if it exposes a new
-    /// packet head at the buffer front.
-    fn buffer_write(&mut self, node: usize, port: Port, vc: usize, mut flit: Flit, now: u64) {
+    /// packet head at the buffer front. A VC in [`VcState::Dropping`]
+    /// consumes the flit instead (returning its credit) until the tail ends
+    /// the doomed packet.
+    fn buffer_write(
+        &mut self,
+        node: usize,
+        port: Port,
+        vc: usize,
+        mut flit: Flit,
+        now: u64,
+        probe: Option<&mut (dyn Probe + '_)>,
+    ) {
         debug_assert_eq!(
             self.params.vc_vnet(vc),
             flit.vnet,
@@ -532,9 +655,17 @@ impl Network {
             flit.vnet
         );
         flit.arrived = now;
-        let router = &mut self.routers[node];
-        router.last_activity = now;
-        let channel = router.input_mut(port, vc);
+        self.routers[node].last_activity = now;
+        if self.routers[node].input_mut(port, vc).state == VcState::Dropping {
+            debug_assert!(!flit.kind.is_head(), "head flit arrived on a dropping VC");
+            self.fault_stats.flits_dropped += 1;
+            if flit.kind.is_tail() {
+                self.routers[node].input_mut(port, vc).state = VcState::Idle;
+            }
+            self.return_credit(node, port, vc, now);
+            return;
+        }
+        let channel = self.routers[node].input_mut(port, vc);
         debug_assert!(
             channel.occupancy() < self.params.buffer_depth,
             "buffer overflow at node {node} {port} vc {vc}: credit protocol violated"
@@ -543,24 +674,250 @@ impl Network {
         let is_head = flit.kind.is_head();
         channel.buffer.push_back(flit);
         if was_empty && is_head && channel.state == VcState::Idle {
-            let out_port = self.routing.route(&self.mesh, NodeId(node), flit.dst);
-            let router = &mut self.routers[node];
-            debug_assert!(
-                router.outputs[out_port.index()].connected,
-                "routing chose unconnected port {out_port} at node {node}"
-            );
-            router.input_mut(port, vc).state = VcState::RouteComputed { out_port };
+            self.resolve_route(node, port, vc, now, probe);
         }
         if router_counting(&self.routers[node]) {
             self.routers[node].activity.buffer_writes += 1;
         }
     }
 
+    /// Fault-aware route computation for a packet at `node` heading to
+    /// `dst`. Without a fault plan this is exactly the plain routing
+    /// function. With one, a *strict* pass avoids every currently-unusable
+    /// resource (faulted links, frozen next routers); if that fails, a
+    /// *lenient* pass avoids only permanently dead links, preferring to wait
+    /// out transient faults on the primary route over dropping.
+    fn compute_route(&self, node: usize, dst: NodeId, now: u64) -> RouteDecision {
+        let Some(fs) = self.faults.as_ref() else {
+            return RouteDecision::Forward(self.routing.route(&self.mesh, NodeId(node), dst));
+        };
+        let strict = |a: NodeId, b: NodeId| {
+            !fs.link_faulted(a.0, b.0, now) && !fs.router_frozen(b.0, now)
+        };
+        match self
+            .routing
+            .route_degraded(&self.mesh, NodeId(node), dst, &strict)
+        {
+            RouteDecision::Forward(p) => RouteDecision::Forward(p),
+            RouteDecision::Drop => {
+                let lenient = |a: NodeId, b: NodeId| !fs.link_dead(a.0, b.0, now);
+                self.routing
+                    .route_degraded(&self.mesh, NodeId(node), dst, &lenient)
+            }
+        }
+    }
+
+    /// Installs a route for the packet heading an input VC, dropping
+    /// unroutable packets (and any complete follow-on packets that are also
+    /// unroutable) until the VC is routed, idle, or left in
+    /// [`VcState::Dropping`].
+    fn resolve_route(
+        &mut self,
+        node: usize,
+        port: Port,
+        vc: usize,
+        now: u64,
+        mut probe: Option<&mut (dyn Probe + '_)>,
+    ) {
+        loop {
+            let dst = match self.routers[node].input_mut(port, vc).head() {
+                None => {
+                    self.routers[node].input_mut(port, vc).state = VcState::Idle;
+                    return;
+                }
+                Some(head) => {
+                    assert!(
+                        head.kind.is_head(),
+                        "non-head flit {head:?} at the front of an unrouted VC"
+                    );
+                    head.dst
+                }
+            };
+            match self.compute_route(node, dst, now) {
+                RouteDecision::Forward(out_port) => {
+                    debug_assert!(
+                        self.routers[node].outputs[out_port.index()].connected,
+                        "routing chose unconnected port {out_port} at node {node}"
+                    );
+                    self.routers[node].input_mut(port, vc).state =
+                        VcState::RouteComputed { out_port };
+                    return;
+                }
+                RouteDecision::Drop => {
+                    if !self.drop_head_packet(node, port, vc, now, probe.as_deref_mut()) {
+                        return; // VC left in Dropping; flits still in flight.
+                    }
+                    // Tail consumed; the VC may already hold the next
+                    // packet's head — route (or drop) that one too.
+                }
+            }
+        }
+    }
+
+    /// Discards the packet whose head flit fronts an input VC, returning a
+    /// credit for every buffered flit. Returns `true` when the tail was
+    /// among them (VC back to [`VcState::Idle`]); `false` when flits are
+    /// still in flight and the VC stays in [`VcState::Dropping`].
+    fn drop_head_packet(
+        &mut self,
+        node: usize,
+        port: Port,
+        vc: usize,
+        now: u64,
+        probe: Option<&mut (dyn Probe + '_)>,
+    ) -> bool {
+        let (packet, measured) = {
+            let head = self.routers[node]
+                .input_mut(port, vc)
+                .head()
+                .expect("drop target has a buffered head flit");
+            debug_assert!(head.kind.is_head());
+            (head.packet, head.measured)
+        };
+        self.fault_stats.packets_dropped += 1;
+        if measured {
+            self.fault_stats.measured_packets_dropped += 1;
+        }
+        if let Some(p) = probe {
+            p.on_fault(
+                now,
+                &FaultEvent::PacketDropped {
+                    node: NodeId(node),
+                    packet,
+                    measured,
+                },
+            );
+        }
+        loop {
+            let flit = match self.routers[node].input_mut(port, vc).buffer.pop_front() {
+                Some(f) => f,
+                None => {
+                    self.routers[node].input_mut(port, vc).state = VcState::Dropping;
+                    return false;
+                }
+            };
+            self.fault_stats.flits_dropped += 1;
+            self.return_credit(node, port, vc, now);
+            if flit.kind.is_tail() {
+                self.routers[node].input_mut(port, vc).state = VcState::Idle;
+                return true;
+            }
+        }
+    }
+
+    /// Re-routes (or drops) packets that are parked in input VCs whose
+    /// chosen output link has since died permanently. Only packets that have
+    /// not sent a single flit (head still buffered) are touched — packets
+    /// mid-crossing complete on the dead link, keeping faults fail-stop at
+    /// packet granularity. Returns the number of actions taken.
+    fn fault_reroute(&mut self, now: u64, mut probe: Option<&mut (dyn Probe + '_)>) -> usize {
+        if self.faults.is_none() {
+            return 0;
+        }
+        let mut actions = 0;
+        for node in 0..self.mesh.len() {
+            if self.frozen(node, now) {
+                continue;
+            }
+            for in_port in 0..Port::COUNT {
+                for in_vc in 0..self.params.vcs_per_port {
+                    let (out_port, held_vc) = {
+                        match self.routers[node].inputs[in_port][in_vc].state {
+                            VcState::RouteComputed { out_port } => (out_port, None),
+                            VcState::Active { out_port, out_vc } => (out_port, Some(out_vc)),
+                            VcState::Idle | VcState::Dropping => continue,
+                        }
+                    };
+                    let Port::Dir(d) = out_port else { continue };
+                    let (packet, dst, is_head) = {
+                        let Some(front) = self.routers[node].inputs[in_port][in_vc].head() else {
+                            continue;
+                        };
+                        (front.packet, front.dst, front.kind.is_head())
+                    };
+                    if !is_head {
+                        continue; // packet already crossing; let it finish
+                    }
+                    let next = self
+                        .mesh
+                        .neighbor(NodeId(node), d)
+                        .expect("routed off the mesh");
+                    let dead = self
+                        .faults
+                        .as_ref()
+                        .is_some_and(|f| f.link_dead(node, next.0, now));
+                    if !dead {
+                        continue;
+                    }
+                    let port = Port::from_index(in_port);
+                    // Release any output VC the packet holds; nothing has
+                    // crossed yet, so this is safe.
+                    if let Some(out_vc) = held_vc {
+                        self.routers[node].outputs[out_port.index()].alloc[out_vc] = None;
+                    }
+                    match self.compute_route(node, dst, now) {
+                        RouteDecision::Forward(new_port) => {
+                            debug_assert_ne!(new_port, out_port, "rerouted onto the dead link");
+                            self.routers[node].input_mut(port, in_vc).state =
+                                VcState::RouteComputed { out_port: new_port };
+                            self.fault_stats.reroutes += 1;
+                            if let Some(p) = probe.as_deref_mut() {
+                                p.on_fault(
+                                    now,
+                                    &FaultEvent::PacketRerouted {
+                                        node: NodeId(node),
+                                        packet,
+                                    },
+                                );
+                            }
+                        }
+                        RouteDecision::Drop => {
+                            if self.drop_head_packet(node, port, in_vc, now, probe.as_deref_mut())
+                            {
+                                self.resolve_route(node, port, in_vc, now, probe.as_deref_mut());
+                            }
+                        }
+                    }
+                    actions += 1;
+                }
+            }
+        }
+        actions
+    }
+
+    /// Returns one credit upstream for a flit that left (or was dropped
+    /// from) the input VC `(port, vc)` at `node`.
+    fn return_credit(&mut self, node: usize, port: Port, vc: usize, now: u64) {
+        match port {
+            Port::Local => {
+                self.nis[node]
+                    .credit_queue
+                    .push_back((now + self.params.credit_delay, vc));
+            }
+            Port::Dir(d) => {
+                let upstream = self
+                    .mesh
+                    .neighbor(NodeId(node), d)
+                    .expect("flit entered through an edge port");
+                let up_out_port = Port::Dir(d.opposite()).index();
+                self.credit_in[upstream.0].push_back(TimedCredit {
+                    port: up_out_port,
+                    vc,
+                    arrive: now + self.params.credit_delay,
+                });
+            }
+        }
+    }
+
     fn inject(&mut self, now: u64, mut probe: Option<&mut (dyn Probe + '_)>) -> usize {
         let mut events = 0;
         for node in 0..self.mesh.len() {
+            // A frozen router's NI cannot inject.
+            if self.frozen(node, now) {
+                continue;
+            }
             // A sleeping router must wake before its NI can inject.
-            if !self.nis[node].is_idle() && !self.ensure_awake(node, now) {
+            if !self.nis[node].is_idle() && !self.ensure_awake(node, now, probe.as_deref_mut()) {
                 continue;
             }
             // Continue an in-progress packet first: wormhole injection never
@@ -598,7 +955,7 @@ impl Network {
                     let flit = pkt.flit(seq, head_cycle);
                     let done = seq + 1 == pkt.len;
                     self.nis[node].injecting = if done { None } else { Some((pkt, seq + 1, head_cycle)) };
-                    self.buffer_write(node, Port::Local, v, flit, now);
+                    self.buffer_write(node, Port::Local, v, flit, now, probe.as_deref_mut());
                     if let Some(p) = probe.as_deref_mut() {
                         p.on_injection(now, NodeId(node));
                     }
@@ -614,7 +971,7 @@ impl Network {
         let vcs = self.params.vcs_per_port;
         let id_space = Port::COUNT * vcs;
         for node in 0..self.mesh.len() {
-            if !self.routers[node].is_operational() {
+            if !self.routers[node].is_operational() || self.frozen(node, now) {
                 continue;
             }
             // Gather requests: (priority id, in_port, in_vc, out_port).
@@ -698,7 +1055,7 @@ impl Network {
         let mut ejections = 0;
         let vcs = self.params.vcs_per_port;
         for node in 0..self.mesh.len() {
-            if !self.routers[node].is_operational() {
+            if !self.routers[node].is_operational() || self.frozen(node, now) {
                 continue;
             }
             // SA stage 1: one candidate VC per input port.
@@ -723,6 +1080,24 @@ impl Network {
                             && router.outputs[out_port.index()].credits[out_vc] == 0
                         {
                             continue;
+                        }
+                        // Fault gating: a *head* flit may not start crossing
+                        // a faulted link or enter a frozen router. Body and
+                        // tail flits always pass — packets mid-crossing
+                        // complete, keeping faults fail-stop at packet
+                        // granularity (no wormhole truncation).
+                        if head.kind.is_head() {
+                            if let (Port::Dir(d), Some(fs)) = (out_port, self.faults.as_ref()) {
+                                let next = self
+                                    .mesh
+                                    .neighbor(NodeId(node), d)
+                                    .expect("routed off the mesh");
+                                if fs.link_faulted(node, next.0, now)
+                                    || fs.router_frozen(next.0, now)
+                                {
+                                    continue;
+                                }
+                            }
                         }
                         let rank = (in_vc + vcs - ptr) % vcs;
                         if rank < best_rank {
@@ -779,7 +1154,7 @@ impl Network {
         out_port: Port,
         out_vc: usize,
         now: u64,
-        probe: Option<&mut (dyn Probe + '_)>,
+        mut probe: Option<&mut (dyn Probe + '_)>,
     ) -> bool {
         let flit = {
             let router = &mut self.routers[node];
@@ -799,25 +1174,7 @@ impl Network {
 
         // Credit return for the freed input slot.
         let in_port_t = Port::from_index(in_port);
-        match in_port_t {
-            Port::Local => {
-                self.nis[node]
-                    .credit_queue
-                    .push_back((now + self.params.credit_delay, in_vc));
-            }
-            Port::Dir(d) => {
-                let upstream = self
-                    .mesh
-                    .neighbor(NodeId(node), d)
-                    .expect("flit entered through an edge port");
-                let up_out_port = Port::Dir(d.opposite()).index();
-                self.credit_in[upstream.0].push_back(TimedCredit {
-                    port: up_out_port,
-                    vc: in_vc,
-                    arrive: now + self.params.credit_delay,
-                });
-            }
-        }
+        self.return_credit(node, in_port_t, in_vc, now);
 
         // Downstream delivery.
         let is_tail = flit.kind.is_tail();
@@ -827,7 +1184,7 @@ impl Network {
                     flit,
                     at: now + self.params.link_delay,
                 });
-                if let Some(p) = probe {
+                if let Some(p) = probe.as_deref_mut() {
                     p.on_ejection(now, NodeId(node));
                 }
                 true
@@ -849,7 +1206,7 @@ impl Network {
                     vc: out_vc,
                     arrive: now + latency,
                 });
-                if let Some(p) = probe {
+                if let Some(p) = probe.as_deref_mut() {
                     p.on_link_traversal(now, NodeId(node), next);
                 }
                 false
@@ -857,29 +1214,12 @@ impl Network {
         };
 
         if is_tail {
-            // Release the output VC and recycle the input VC.
-            let router = &mut self.routers[node];
-            router.outputs[out_port.index()].alloc[out_vc] = None;
-            let route_next = {
-                let ch = router.input_mut(in_port_t, in_vc);
-                match ch.head() {
-                    None => {
-                        ch.state = VcState::Idle;
-                        None
-                    }
-                    Some(next_head) => {
-                        assert!(
-                            next_head.kind.is_head(),
-                            "non-head flit {next_head:?} follows a tail in the same VC"
-                        );
-                        Some(next_head.dst)
-                    }
-                }
-            };
-            if let Some(dst) = route_next {
-                let new_out = self.routing.route(&self.mesh, NodeId(node), dst);
-                self.routers[node].input_mut(in_port_t, in_vc).state =
-                    VcState::RouteComputed { out_port: new_out };
+            // Release the output VC and recycle the input VC: route the next
+            // buffered head (fault-aware), or go idle.
+            self.routers[node].outputs[out_port.index()].alloc[out_vc] = None;
+            self.routers[node].input_mut(in_port_t, in_vc).state = VcState::Idle;
+            if self.routers[node].input_mut(in_port_t, in_vc).head().is_some() {
+                self.resolve_route(node, in_port_t, in_vc, now, probe);
             }
         }
         ejected

@@ -22,6 +22,7 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
+use crate::fault::FaultEvent;
 use crate::geometry::NodeId;
 use crate::network::Network;
 use crate::router::SleepState;
@@ -77,6 +78,10 @@ pub trait Probe: Send {
     /// A measured packet's tail flit arrived: both latency readings in
     /// cycles (creation-to-delivery and head-injection-to-delivery).
     fn on_packet_delivered(&mut self, _cycle: u64, _packet_latency: u64, _network_latency: u64) {}
+
+    /// A fault transition or consequence occurred (only fires when a
+    /// [`FaultPlan`](crate::fault::FaultPlan) is installed).
+    fn on_fault(&mut self, _cycle: u64, _event: &FaultEvent) {}
 }
 
 /// One epoch snapshot captured by [`TimeSeriesObserver`].
@@ -237,6 +242,8 @@ pub struct EventCounts {
     pub packets: u64,
     /// Phase transitions observed.
     pub phases: u64,
+    /// Fault events observed.
+    pub faults: u64,
 }
 
 impl Probe for EventCounts {
@@ -270,6 +277,10 @@ impl Probe for EventCounts {
 
     fn on_packet_delivered(&mut self, _cycle: u64, _p: u64, _n: u64) {
         self.packets += 1;
+    }
+
+    fn on_fault(&mut self, _cycle: u64, _event: &FaultEvent) {
+        self.faults += 1;
     }
 }
 

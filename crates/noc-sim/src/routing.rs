@@ -10,6 +10,18 @@ use std::fmt::Debug;
 use crate::geometry::{Direction, NodeId, Port};
 use crate::topology::Mesh2D;
 
+/// Outcome of a fault-aware route computation
+/// ([`RoutingFunction::route_degraded`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteDecision {
+    /// Forward the packet through this output port.
+    Forward(Port),
+    /// No usable path to the destination exists; drop the packet cleanly
+    /// (the network counts it — see
+    /// [`FaultStats::packets_dropped`](crate::fault::FaultStats)).
+    Drop,
+}
+
 /// Computes the output port a head flit should take at a router.
 ///
 /// Implementations must be deterministic: the simulator calls `route` once
@@ -45,6 +57,64 @@ pub trait RoutingFunction: Debug + Send + Sync {
         hops
     }
 
+    /// Fault-aware route computation: like [`route`](Self::route), but some
+    /// links may be unusable. `usable(a, b)` reports whether the directed
+    /// link `a -> b` can currently accept a new packet.
+    ///
+    /// The default implementation tries the primary route first, then any
+    /// other direction that strictly reduces the Manhattan distance to the
+    /// destination (so fallback paths remain minimal and therefore
+    /// livelock-free), in [`Direction::ALL`] order for determinism. When no
+    /// minimal usable hop exists it returns [`RouteDecision::Drop`].
+    ///
+    /// Implementations with their own reachable-region invariants (like
+    /// CDOR) should override this to keep fallbacks inside their region.
+    ///
+    /// ```
+    /// use noc_sim::geometry::{NodeId, Port, Direction};
+    /// use noc_sim::routing::{RouteDecision, RoutingFunction, XyRouting};
+    /// use noc_sim::topology::Mesh2D;
+    ///
+    /// let mesh = Mesh2D::paper_4x4();
+    /// // With 0 -> 1 unusable, X-first 0 -> 5 falls back to the south hop.
+    /// let usable = |a: NodeId, b: NodeId| !(a == NodeId(0) && b == NodeId(1));
+    /// assert_eq!(
+    ///     XyRouting.route_degraded(&mesh, NodeId(0), NodeId(5), &usable),
+    ///     RouteDecision::Forward(Port::Dir(Direction::South)),
+    /// );
+    /// ```
+    fn route_degraded(
+        &self,
+        mesh: &Mesh2D,
+        current: NodeId,
+        dst: NodeId,
+        usable: &dyn Fn(NodeId, NodeId) -> bool,
+    ) -> RouteDecision {
+        if current == dst {
+            return RouteDecision::Forward(Port::Local);
+        }
+        let primary = self.route(mesh, current, dst);
+        if let Some(d) = primary.direction() {
+            if let Some(next) = mesh.neighbor(current, d) {
+                if usable(current, next) {
+                    return RouteDecision::Forward(primary);
+                }
+            }
+        }
+        let here = mesh.hops(current, dst);
+        for d in Direction::ALL {
+            if Port::Dir(d) == primary {
+                continue;
+            }
+            if let Some(next) = mesh.neighbor(current, d) {
+                if mesh.hops(next, dst) < here && usable(current, next) {
+                    return RouteDecision::Forward(Port::Dir(d));
+                }
+            }
+        }
+        RouteDecision::Drop
+    }
+
     /// Full path from `src` to `dst` including both endpoints.
     fn path(&self, mesh: &Mesh2D, src: NodeId, dst: NodeId) -> Vec<NodeId> {
         let mut cur = src;
@@ -65,6 +135,50 @@ pub trait RoutingFunction: Debug + Send + Sync {
         }
         path
     }
+}
+
+/// Counts ordered `(src, dst)` pairs among `nodes` that a routing function
+/// cannot connect when some links are unusable: walking
+/// [`RoutingFunction::route_degraded`] from `src` either reaches a
+/// [`RouteDecision::Drop`] or fails to converge within `mesh.len()` hops.
+///
+/// The `resilience` bench reports this as the `unreachable_pairs` metric
+/// (evaluated against permanently dead links only).
+pub fn unreachable_pairs(
+    routing: &dyn RoutingFunction,
+    mesh: &Mesh2D,
+    nodes: &[NodeId],
+    usable: &dyn Fn(NodeId, NodeId) -> bool,
+) -> usize {
+    let mut unreachable = 0;
+    for &src in nodes {
+        for &dst in nodes {
+            if src == dst {
+                continue;
+            }
+            let mut cur = src;
+            let mut hops = 0usize;
+            loop {
+                match routing.route_degraded(mesh, cur, dst, usable) {
+                    RouteDecision::Forward(Port::Local) => break,
+                    RouteDecision::Forward(p) => {
+                        let d = p.direction().expect("non-local port has a direction");
+                        cur = mesh.neighbor(cur, d).expect("degraded route left the mesh");
+                    }
+                    RouteDecision::Drop => {
+                        unreachable += 1;
+                        break;
+                    }
+                }
+                hops += 1;
+                if hops > mesh.len() {
+                    unreachable += 1;
+                    break;
+                }
+            }
+        }
+    }
+    unreachable
 }
 
 /// Classic dimension-order X-Y routing: correct X first, then Y.
@@ -246,6 +360,52 @@ mod tests {
         assert_ne!(nf_path, xy_path);
         assert_eq!(nf_path[1], NodeId(4), "negative-first goes north first");
         assert_eq!(xy_path[1], NodeId(9), "XY goes east first");
+    }
+
+    #[test]
+    fn degraded_default_falls_back_to_minimal_alternative() {
+        let mesh = Mesh2D::paper_4x4();
+        // 0 -> 5: primary is East (to 1). With that link down, the south hop
+        // (to 4) is the other minimal move.
+        let usable = |a: NodeId, b: NodeId| !(a == NodeId(0) && b == NodeId(1));
+        assert_eq!(
+            XyRouting.route_degraded(&mesh, NodeId(0), NodeId(5), &usable),
+            RouteDecision::Forward(Port::Dir(Direction::South))
+        );
+        // Healthy network: primary route unchanged.
+        let all = |_: NodeId, _: NodeId| true;
+        assert_eq!(
+            XyRouting.route_degraded(&mesh, NodeId(0), NodeId(5), &all),
+            RouteDecision::Forward(Port::Dir(Direction::East))
+        );
+        assert_eq!(
+            XyRouting.route_degraded(&mesh, NodeId(5), NodeId(5), &all),
+            RouteDecision::Forward(Port::Local)
+        );
+    }
+
+    #[test]
+    fn degraded_default_drops_when_no_minimal_hop_is_usable() {
+        let mesh = Mesh2D::paper_4x4();
+        // 0 -> 3 is a straight-line route: the only minimal direction is
+        // East. Killing 0 -> 1 leaves no minimal usable hop.
+        let usable = |a: NodeId, b: NodeId| !(a == NodeId(0) && b == NodeId(1));
+        assert_eq!(
+            XyRouting.route_degraded(&mesh, NodeId(0), NodeId(3), &usable),
+            RouteDecision::Drop
+        );
+    }
+
+    #[test]
+    fn unreachable_pairs_counts_cut_destinations() {
+        let mesh = Mesh2D::paper_4x4();
+        let nodes: Vec<NodeId> = mesh.nodes().collect();
+        let all = |_: NodeId, _: NodeId| true;
+        assert_eq!(unreachable_pairs(&XyRouting, &mesh, &nodes, &all), 0);
+        // Cut every link into node 15 (from 11 and from 14): 15 becomes
+        // unreachable from the other 15 nodes, and XY from 15 still gets out.
+        let cut = |_a: NodeId, b: NodeId| b != NodeId(15);
+        assert_eq!(unreachable_pairs(&XyRouting, &mesh, &nodes, &cut), 15);
     }
 
     #[test]

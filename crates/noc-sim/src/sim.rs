@@ -10,6 +10,7 @@
 use std::collections::HashMap;
 
 use crate::error::SimError;
+use crate::fault::FaultStats;
 use crate::network::Network;
 use crate::packet::PacketId;
 use crate::probe::{Probe, SimPhase};
@@ -59,6 +60,37 @@ impl Default for SimConfig {
     }
 }
 
+/// End-to-end accounting of measured packets: every packet generated in the
+/// measurement window is delivered, cleanly dropped by fault handling, or
+/// still outstanding when the run ends (saturation / drain-budget expiry) —
+/// nothing is silently lost.
+///
+/// The invariant `generated == delivered + dropped + outstanding` holds by
+/// construction and is pinned by the fault-injection test suite.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PacketAccounting {
+    /// Measured packets generated during the window.
+    pub measured_generated: u64,
+    /// Measured packets whose tail flit reached its destination NI.
+    pub measured_delivered: u64,
+    /// Measured packets cleanly dropped by fault handling.
+    pub measured_dropped: u64,
+    /// Measured packets still in flight or queued when the run ended.
+    pub measured_outstanding: u64,
+}
+
+impl PacketAccounting {
+    /// Fraction of measured packets that were delivered (1.0 when nothing
+    /// was generated).
+    pub fn delivered_fraction(&self) -> f64 {
+        if self.measured_generated == 0 {
+            1.0
+        } else {
+            self.measured_delivered as f64 / self.measured_generated as f64
+        }
+    }
+}
+
 /// Result of a simulation run: latency/throughput statistics plus the router
 /// activity accumulated during the measurement window (for the power model).
 #[derive(Debug, Clone)]
@@ -74,6 +106,10 @@ pub struct SimOutcome {
     pub sleep_stats: Vec<(u64, u64)>,
     /// Total cycles simulated (all phases).
     pub total_cycles: u64,
+    /// Fault consequence counters (all zeros without a fault plan).
+    pub faults: FaultStats,
+    /// Where every measured packet ended up.
+    pub accounting: PacketAccounting,
 }
 
 /// Runs the warmup/measure/drain loop for one traffic configuration.
@@ -173,7 +209,10 @@ impl Simulation {
                 saturated = true;
                 break;
             }
-            if now >= measure_end && measured_ejected == measured_generated {
+            // Dropped packets will never eject; count them as resolved so
+            // fault-heavy runs still terminate.
+            let measured_dropped = self.net.fault_stats().measured_packets_dropped;
+            if now >= measure_end && measured_ejected + measured_dropped == measured_generated {
                 break;
             }
 
@@ -214,12 +253,17 @@ impl Simulation {
             }
 
             if report.events == 0 && self.net.in_flight() > 0 {
-                idle_cycles += 1;
-                if idle_cycles >= self.cfg.deadlock_threshold {
-                    return Err(SimError::Deadlock {
-                        cycle: self.net.now(),
-                        in_flight: self.net.in_flight(),
-                    });
+                // A stall during a finite fault window (transient outage,
+                // router freeze) is flits waiting the fault out, not a
+                // deadlock: hold the watchdog without resetting it.
+                if !self.net.fault_hold_active() {
+                    idle_cycles += 1;
+                    if idle_cycles >= self.cfg.deadlock_threshold {
+                        return Err(SimError::Deadlock {
+                            cycle: self.net.now(),
+                            in_flight: self.net.in_flight(),
+                        });
+                    }
                 }
             } else {
                 idle_cycles = 0;
@@ -251,6 +295,15 @@ impl Simulation {
                 }
             }
         }
+        let faults = self.net.fault_stats();
+        let accounting = PacketAccounting {
+            measured_generated,
+            measured_delivered: measured_ejected,
+            measured_dropped: faults.measured_packets_dropped,
+            measured_outstanding: measured_generated
+                .saturating_sub(measured_ejected)
+                .saturating_sub(faults.measured_packets_dropped),
+        };
         Ok(SimOutcome {
             stats: SimStats {
                 packet_latency,
@@ -267,6 +320,8 @@ impl Simulation {
             activity_per_router,
             sleep_stats,
             total_cycles,
+            faults,
+            accounting,
         })
     }
 }

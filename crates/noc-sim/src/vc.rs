@@ -24,13 +24,18 @@ pub enum VcState {
         /// Downstream VC granted by the VC allocator.
         out_vc: usize,
     },
+    /// The packet owning this VC is being discarded because fault-aware
+    /// routing found no usable path: every arriving flit up to and including
+    /// the tail is consumed (with its credit returned upstream) instead of
+    /// forwarded. Only entered under fault injection.
+    Dropping,
 }
 
 impl VcState {
     /// Output port requested or held by this VC, if any.
     pub fn out_port(&self) -> Option<Port> {
         match self {
-            VcState::Idle => None,
+            VcState::Idle | VcState::Dropping => None,
             VcState::RouteComputed { out_port } | VcState::Active { out_port, .. } => {
                 Some(*out_port)
             }

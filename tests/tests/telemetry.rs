@@ -52,6 +52,7 @@ fn sample_manifest() -> RunManifest {
         cache_hits: 1,
         cache_misses: 2,
         points,
+        faults: vec![],
     }
 }
 
