@@ -1,49 +1,86 @@
-//! Scale study: NoC-sprinting on a 64-core (8x8) chip.
+//! Scale study: NoC-sprinting on 64-core (8x8) and 256-core (16x16) chips.
 //!
 //! The paper evaluates a 16-core CMP; dark silicon only worsens with
 //! scaling ("the fraction ... is dropping exponentially with each
 //! generation"), so the mechanisms must hold on bigger meshes. This study
-//! re-runs the headline comparisons on an 8x8 chip:
+//! re-runs the headline comparisons on an 8x8 chip by default, or a 16x16
+//! chip with `--mesh 16`:
 //!
 //! - Fig. 3's trend (the chip model already showed 42% NoC share at 32
 //!   cores),
 //! - Fig. 9/10-style latency and power for intermediate sprint levels,
 //! - convexity/deadlock guarantees (already property-tested to 8x8).
+//!
+//! Usage: `scale_study [--mesh 8|16] [--quick]`. `--quick` trims the level
+//! sweep and uses the short simulation phases, suitable as a CI smoke of
+//! the 256-node path through the parallel runner.
 
 use noc_bench::{banner, markdown_table, pct, reduction, watts, FigureHarness};
+use noc_sim::geometry::NodeId;
+use noc_sim::sim::SimConfig;
 use noc_sim::traffic::TrafficPattern;
 use noc_sprinting::config::SystemConfig;
 use noc_sprinting::controller::SprintController;
 use noc_sprinting::experiment::Experiment;
 use noc_sprinting::runner::{SyntheticBaseline, SyntheticJob};
-use noc_sim::geometry::NodeId;
 
-fn experiment_8x8() -> Experiment {
+fn experiment(mesh: u16, quick: bool) -> Experiment {
     let mut e = Experiment::paper();
     e.system = SystemConfig {
-        core_count: 64,
-        mesh_width: 8,
-        mesh_height: 8,
+        core_count: u32::from(mesh) * u32::from(mesh),
+        mesh_width: mesh,
+        mesh_height: mesh,
         ..SystemConfig::paper()
     };
     e.controller = SprintController::new(e.system.mesh(), NodeId(0));
+    if quick {
+        e.sim_config = SimConfig::quick();
+    }
     e
 }
 
 fn main() {
+    let mut mesh = 8u16;
+    let mut quick = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--mesh" => {
+                let v = args.next().and_then(|v| v.parse().ok());
+                mesh = match v {
+                    Some(m @ (8 | 16)) => m,
+                    _ => {
+                        eprintln!("--mesh must be 8 or 16");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--quick" => quick = true,
+            other => {
+                eprintln!("unknown argument {other}; usage: scale_study [--mesh 8|16] [--quick]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let cores = usize::from(mesh) * usize::from(mesh);
     print!(
         "{}",
         banner(
             "Scale study",
-            "NoC-sprinting on a 64-core, 8x8 mesh",
+            &format!("NoC-sprinting on a {cores}-core, {mesh}x{mesh} mesh"),
             "the latency/power benefits grow with the dark fraction as chips scale"
         )
     );
-    let e = experiment_8x8();
+    let e = experiment(mesh, quick);
     assert!(e.system.is_consistent());
     let harness = FigureHarness::new();
     let rate = 0.15;
-    let levels = [4usize, 8, 16, 32, 64];
+    let levels: Vec<usize> = match (mesh, quick) {
+        (8, false) => vec![4, 8, 16, 32, 64],
+        (8, true) => vec![4, 16, 64],
+        (16, false) => vec![8, 16, 32, 64, 128, 256],
+        _ => vec![8, 64, 256],
+    };
     let jobs: Vec<SyntheticJob> = levels
         .iter()
         .flat_map(|&level| {
@@ -65,7 +102,7 @@ fn main() {
     for (level, chunk) in levels.iter().zip(metrics.chunks(2)) {
         let (ns, full) = (chunk[0], chunk[1]);
         rows.push(vec![
-            format!("{level}/64 cores"),
+            format!("{level}/{cores} cores"),
             format!("{:.1}", ns.avg_network_latency),
             format!("{:.1}", full.avg_network_latency),
             pct(reduction(full.avg_network_latency, ns.avg_network_latency)),

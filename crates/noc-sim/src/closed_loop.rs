@@ -135,6 +135,19 @@ impl<A: ProtocolAgent> ClosedLoopSim<A> {
                     self.net.enqueue_packet(p);
                 }
             }
+            // Past the generation window the agent is driven only by
+            // deliveries, so a quiescent network can fast-forward to the
+            // next scheduled send (or the drain deadline) instead of
+            // stepping empty cycles one by one.
+            if now >= generate_cycles {
+                let mut bound = hard_end;
+                if let Some(Reverse((at, _, _))) = self.pending.peek() {
+                    bound = bound.min(*at);
+                }
+                if self.net.skip_idle_cycles(bound) > 0 {
+                    continue;
+                }
+            }
             // Release scheduled sends due this cycle.
             while let Some(&Reverse((at, _, PendingPacket(p)))) = self.pending.peek() {
                 if at > now {

@@ -558,6 +558,13 @@ impl FaultState {
             .any(|&(s, e)| (s..e).contains(&now))
     }
 
+    /// Cycle of the next unemitted scheduled transition, regardless of how
+    /// far away it is. Idle fast-forward uses this to bound quiet windows:
+    /// a quiescent network may jump at most to this cycle.
+    pub fn next_event_cycle(&self) -> Option<u64> {
+        self.timeline.get(self.next_event).map(|&(cycle, _)| cycle)
+    }
+
     /// The next unemitted scheduled transition, if its cycle has come.
     pub fn pop_event_at(&mut self, now: u64) -> Option<(u64, FaultEvent)> {
         let &(cycle, ev) = self.timeline.get(self.next_event)?;

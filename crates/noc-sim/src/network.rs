@@ -10,8 +10,28 @@
 //! 3. NI injection,
 //! 4. VC allocation,
 //! 5. switch allocation + switch/link traversal.
+//!
+//! # Cycle engines
+//!
+//! Two interchangeable engines drive the stages (see [`StepEngine`]):
+//!
+//! * **Active-set** (default): every stage visits only its work-list —
+//!   routers with buffered flits, nodes with in-flight link flits or
+//!   credits, busy NIs, and scheduled sleep checks — in ascending node
+//!   order. Work scales with *activity*, not mesh capacity, which is the
+//!   whole point of simulating dark silicon: a mostly-dark 16×16 mesh costs
+//!   little more than the sprinting region it actually exercises.
+//! * **Exhaustive sweep**: the original iterate-everything driver, kept as
+//!   a differential oracle.
+//!
+//! Both engines run identical per-node stage bodies, so they are
+//! bit-identical at every cycle (pinned by the equivalence suite), and the
+//! active-set bookkeeping is maintained under either engine, so switching
+//! mid-run is safe. When the network is quiescent, [`Network::quiescence`]
+//! and [`Network::skip_idle_cycles`] let callers fast-forward `now` to the
+//! next scheduled event without stepping through empty cycles.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeSet, VecDeque};
 
 use crate::error::SimError;
 use crate::fault::{FaultEvent, FaultPlan, FaultState, FaultStats};
@@ -59,7 +79,7 @@ struct TimedCredit {
 }
 
 /// A flit delivered to its destination NI.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Ejection {
     /// The delivered flit.
     pub flit: Flit,
@@ -120,6 +140,165 @@ pub struct StepReport {
     pub ejections: usize,
 }
 
+/// Which driver advances the pipeline stages each cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StepEngine {
+    /// Visit only the work-lists (default). Cost scales with activity.
+    #[default]
+    ActiveSet,
+    /// Visit every node in every stage — the original driver, kept as a
+    /// differential oracle for the active-set engine.
+    ExhaustiveSweep,
+}
+
+/// How long the network is guaranteed to produce no events (see
+/// [`Network::quiescence`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Quiescence {
+    /// Flits, credits or busy NIs are pending; stepping cannot be skipped.
+    Active,
+    /// Nothing observable can happen strictly before the given cycle (the
+    /// next scheduled fault or sleep event).
+    Until(u64),
+    /// Nothing can ever happen again without external input.
+    Indefinite,
+}
+
+/// A deduplicated, lazily-sorted work-list of node indices.
+///
+/// `insert` is O(1) (a membership bitmap suppresses duplicates);
+/// `prepare` sorts pending insertions so iteration always runs in ascending
+/// node order — the canonical order that keeps the active-set engine
+/// bit-identical to the exhaustive sweep. `retain_visit` compacts in place,
+/// dropping nodes whose retention predicate fails.
+#[derive(Debug, Clone, Default)]
+struct NodeSet {
+    /// Membership bitmap, one flag per node.
+    member: Vec<bool>,
+    /// Member node indices; sorted ascending unless `dirty`.
+    nodes: Vec<u32>,
+    /// Whether `nodes` has unsorted insertions.
+    dirty: bool,
+}
+
+impl NodeSet {
+    fn new(len: usize) -> Self {
+        NodeSet {
+            member: vec![false; len],
+            nodes: Vec::new(),
+            dirty: false,
+        }
+    }
+
+    fn insert(&mut self, node: usize) {
+        if !self.member[node] {
+            self.member[node] = true;
+            self.nodes.push(node as u32);
+            self.dirty = true;
+        }
+    }
+
+    fn contains(&self, node: usize) -> bool {
+        self.member[node]
+    }
+
+    /// Sorts pending insertions; must run before iteration.
+    fn prepare(&mut self) {
+        if self.dirty {
+            self.nodes.sort_unstable();
+            self.dirty = false;
+        }
+    }
+
+    /// Members in ascending order; only valid after [`NodeSet::prepare`].
+    fn as_slice(&self) -> &[u32] {
+        debug_assert!(!self.dirty, "iterating an unprepared NodeSet");
+        &self.nodes
+    }
+
+    /// Visits members in ascending order; `f` returns whether the node
+    /// stays in the set. Dropped nodes have their membership flag cleared.
+    fn retain_visit(&mut self, mut f: impl FnMut(usize) -> bool) {
+        debug_assert!(!self.dirty, "retain_visit on an unprepared NodeSet");
+        let mut kept = 0;
+        for i in 0..self.nodes.len() {
+            let node = self.nodes[i];
+            if f(node as usize) {
+                self.nodes[kept] = node;
+                kept += 1;
+            } else {
+                self.member[node as usize] = false;
+            }
+        }
+        self.nodes.truncate(kept);
+    }
+}
+
+/// Work-lists and O(1) occupancy counters backing the active-set engine.
+///
+/// Set invariants (supersets are allowed, holes are not):
+///
+/// * every node with a non-empty `link_in` queue is in `link`
+///   (enqueued by link traversal, drained when its queues empty),
+/// * every node with an in-flight credit (router `credit_in` or NI credit
+///   queue) is in `credit` (enqueued by credit return),
+/// * every node whose NI has queued or mid-injection packets is in `ni`
+///   (enqueued by packet enqueue, drained when the NI goes idle),
+/// * every node with flits buffered in router input VCs is in `router`
+///   (enqueued by buffer write, drained when its buffers empty),
+/// * under reactive gating, every powered-on router that is not `Asleep`
+///   has exactly one armed entry in `sleep_events` (stale-early entries are
+///   fine: the pop re-checks the condition and re-arms).
+#[derive(Debug, Clone, Default)]
+struct ActiveState {
+    link: NodeSet,
+    credit: NodeSet,
+    ni: NodeSet,
+    router: NodeSet,
+    /// Flits waiting in `link_in` per node, all ports.
+    link_pending: Vec<u32>,
+    /// In-flight credits per node (router `credit_in` + NI credit queue).
+    credit_pending: Vec<u32>,
+    /// Flits buffered in router input VCs per node.
+    buffered: Vec<u32>,
+    /// Sum of `link_pending`.
+    total_links: usize,
+    /// Sum of `credit_pending`.
+    total_credits: usize,
+    /// Sum of `buffered`.
+    total_buffered: usize,
+    /// NIs with queued or mid-injection packets.
+    busy_nis: usize,
+    /// Packets waiting in NI source queues.
+    queued_packets: usize,
+    /// Scheduled sleep-state checks as `(cycle, node)`.
+    sleep_events: BTreeSet<(u64, usize)>,
+    /// The armed entry per node, kept in lockstep with `sleep_events` so
+    /// re-arming can replace it.
+    sleep_event_at: Vec<Option<u64>>,
+}
+
+impl ActiveState {
+    fn new(len: usize) -> Self {
+        ActiveState {
+            link: NodeSet::new(len),
+            credit: NodeSet::new(len),
+            ni: NodeSet::new(len),
+            router: NodeSet::new(len),
+            link_pending: vec![0; len],
+            credit_pending: vec![0; len],
+            buffered: vec![0; len],
+            total_links: 0,
+            total_credits: 0,
+            total_buffered: 0,
+            busy_nis: 0,
+            queued_packets: 0,
+            sleep_events: BTreeSet::new(),
+            sleep_event_at: vec![None; len],
+        }
+    }
+}
+
 /// A complete mesh network with attached NIs.
 pub struct Network {
     mesh: Mesh2D,
@@ -143,6 +322,13 @@ pub struct Network {
     faults: Option<FaultState>,
     /// Fault consequence counters (drops, reroutes, delayed wake-ups).
     fault_stats: FaultStats,
+    /// Work-lists and occupancy counters for the active-set engine;
+    /// maintained under either engine so switching mid-run is safe.
+    active: ActiveState,
+    /// Which driver runs the pipeline stages.
+    engine: StepEngine,
+    /// Whether [`Network::skip_idle_cycles`] may fast-forward `now`.
+    fast_forward: bool,
     now: u64,
 }
 
@@ -196,6 +382,9 @@ impl Network {
             link_latency: std::collections::HashMap::new(),
             faults: None,
             fault_stats: FaultStats::default(),
+            active: ActiveState::new(mesh.len()),
+            engine: StepEngine::ActiveSet,
+            fast_forward: true,
             now: 0,
         })
     }
@@ -266,7 +455,26 @@ impl Network {
 
     /// Switches the gating discipline (default: [`GatingMode::Static`]).
     pub fn set_gating_mode(&mut self, mode: GatingMode) {
+        let now = self.now;
+        let was_reactive = matches!(self.gating, GatingMode::Reactive { .. });
+        let is_reactive = matches!(mode, GatingMode::Reactive { .. });
+        if was_reactive && !is_reactive {
+            // Static mode stops the sleep clock: materialize open intervals.
+            for r in &mut self.routers {
+                if let Some(from) = r.sleep_accum_from.take() {
+                    r.sleep_cycles += now - from;
+                }
+            }
+        } else if is_reactive && !was_reactive {
+            // Restart the clock for routers already asleep.
+            for r in &mut self.routers {
+                if r.counting && r.sleep == SleepState::Asleep {
+                    r.sleep_accum_from = Some(now);
+                }
+            }
+        }
         self.gating = mode;
+        self.sync_sleep_events();
     }
 
     /// The active gating discipline.
@@ -275,10 +483,18 @@ impl Network {
     }
 
     /// Per-router `(sleep_cycles, wakeups)` under reactive gating.
+    ///
+    /// Sleep cycles are accounted lazily: a router asleep since cycle `f`
+    /// with counting enabled carries an open interval that this query adds
+    /// (`now - f`) without mutating anything, so reads mid-sleep match the
+    /// old per-cycle accumulation exactly.
     pub fn sleep_stats(&self) -> Vec<(u64, u64)> {
         self.routers
             .iter()
-            .map(|r| (r.sleep_cycles, r.wakeups))
+            .map(|r| {
+                let open = r.sleep_accum_from.map_or(0, |from| self.now - from);
+                (r.sleep_cycles + open, r.wakeups)
+            })
             .collect()
     }
 
@@ -317,6 +533,7 @@ impl Network {
         for (r, &on) in self.routers.iter_mut().zip(active) {
             r.powered_on = on;
         }
+        self.sync_sleep_events();
     }
 
     /// Number of powered-on routers.
@@ -325,9 +542,20 @@ impl Network {
     }
 
     /// Enables or disables activity counting on every router (used to limit
-    /// power accounting to the measurement window).
+    /// power accounting to the measurement window). Open sleep-accounting
+    /// intervals are materialized (off) or started (on) so the lazy scheme
+    /// matches per-cycle accumulation at the boundary.
     pub fn set_counting(&mut self, on: bool) {
+        let now = self.now;
+        let reactive = matches!(self.gating, GatingMode::Reactive { .. });
         for r in &mut self.routers {
+            if on {
+                if reactive && r.sleep == SleepState::Asleep && r.sleep_accum_from.is_none() {
+                    r.sleep_accum_from = Some(now);
+                }
+            } else if let Some(from) = r.sleep_accum_from.take() {
+                r.sleep_cycles += now - from;
+            }
             r.counting = on;
         }
     }
@@ -365,7 +593,14 @@ impl Network {
             self.params.vnets
         );
         let vnet = usize::from(p.vnet);
-        self.nis[p.src.0].source[vnet].push_back(p);
+        let node = p.src.0;
+        let was_idle = self.nis[node].is_idle();
+        self.nis[node].source[vnet].push_back(p);
+        self.active.queued_packets += 1;
+        if was_idle {
+            self.active.busy_nis += 1;
+        }
+        self.active.ni.insert(node);
     }
 
     /// Flits delivered to NIs since the last call.
@@ -373,27 +608,153 @@ impl Network {
         std::mem::take(&mut self.ejected)
     }
 
-    /// Flits currently inside the network (buffers + links), plus packets
-    /// mid-injection; excludes packets still whole in source queues.
+    /// Flits currently inside the network (router buffers + links);
+    /// excludes packets still whole in source queues or mid-injection at an
+    /// NI. O(1): served from the active-set occupancy counters.
     pub fn in_flight(&self) -> usize {
-        let buffered: usize = self.routers.iter().map(|r| r.buffered_flits()).sum();
-        let on_links: usize = self
-            .link_in
-            .iter()
-            .flat_map(|ports| ports.iter())
-            .map(|q| q.len())
-            .sum();
-        buffered + on_links
+        self.active.total_buffered + self.active.total_links
     }
 
-    /// Packets still waiting in source queues.
+    /// Packets still waiting in source queues. O(1).
     pub fn queued_packets(&self) -> usize {
-        self.nis.iter().map(Ni::queued).sum()
+        self.active.queued_packets
     }
 
-    /// Whether the network and all source queues are completely empty.
+    /// Whether the network and all source queues are completely empty. O(1).
     pub fn is_drained(&self) -> bool {
-        self.in_flight() == 0 && self.nis.iter().all(Ni::is_idle)
+        self.in_flight() == 0 && self.active.busy_nis == 0
+    }
+
+    /// Selects the cycle-engine driver (default: [`StepEngine::ActiveSet`]).
+    ///
+    /// Both engines are bit-identical at every cycle, and the active-set
+    /// bookkeeping is maintained under either driver, so switching mid-run
+    /// is safe. The exhaustive sweep exists as a differential oracle for
+    /// tests and should not be used on hot paths.
+    pub fn set_step_engine(&mut self, engine: StepEngine) {
+        self.engine = engine;
+    }
+
+    /// The cycle-engine driver in use.
+    pub fn step_engine(&self) -> StepEngine {
+        self.engine
+    }
+
+    /// Enables or disables idle fast-forward (default: enabled). This only
+    /// gates [`Network::skip_idle_cycles`]; [`Network::step`] itself never
+    /// skips cycles.
+    pub fn set_idle_fast_forward(&mut self, on: bool) {
+        self.fast_forward = on;
+    }
+
+    /// Whether idle fast-forward is enabled.
+    pub fn idle_fast_forward(&self) -> bool {
+        self.fast_forward
+    }
+
+    /// How long the network is guaranteed to produce no events.
+    ///
+    /// `Active` whenever any flit, credit, or busy NI exists — delivering a
+    /// credit is an observable [`StepReport`] event, so credits in flight
+    /// block quiescence too. Otherwise the earliest scheduled fault or
+    /// sleep event bounds the quiet window.
+    pub fn quiescence(&self) -> Quiescence {
+        let a = &self.active;
+        if a.total_buffered + a.total_links + a.total_credits + a.busy_nis > 0 {
+            return Quiescence::Active;
+        }
+        let fault_next = self.faults.as_ref().and_then(|f| f.next_event_cycle());
+        let sleep_next = a.sleep_events.first().map(|&(c, _)| c);
+        match (fault_next, sleep_next) {
+            (None, None) => Quiescence::Indefinite,
+            (f, s) => {
+                let next = f.into_iter().chain(s).min().expect("one side is Some");
+                Quiescence::Until(next.max(self.now))
+            }
+        }
+    }
+
+    /// Fast-forwards `now` to the earlier of `bound` and the next scheduled
+    /// event when the network is quiescent; returns the cycles skipped.
+    ///
+    /// Skipped cycles are observably identical to stepped ones: with no
+    /// flits, credits, or busy NIs, every stage is a no-op and the
+    /// [`StepReport`] would be all-zero, and the jump never passes a
+    /// scheduled fault or sleep event (those fire when stepping resumes at
+    /// the target cycle). Returns 0 when fast-forward is disabled, the
+    /// network is active, or `bound <= now`.
+    pub fn skip_idle_cycles(&mut self, bound: u64) -> u64 {
+        if !self.fast_forward || bound <= self.now {
+            return 0;
+        }
+        let target = match self.quiescence() {
+            Quiescence::Active => return 0,
+            Quiescence::Until(t) => t.min(bound),
+            Quiescence::Indefinite => bound,
+        };
+        let skipped = target.saturating_sub(self.now);
+        self.now = target;
+        skipped
+    }
+
+    /// Asserts every active-set invariant against a ground-truth rescan.
+    /// Test support for the differential suite; not part of the public API.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any counter or work-list disagrees with actual state.
+    #[doc(hidden)]
+    pub fn validate_active_sets(&self) {
+        let a = &self.active;
+        let mut links = 0;
+        let mut credits = 0;
+        let mut buffered = 0;
+        let mut busy = 0;
+        let mut queued = 0;
+        for node in 0..self.mesh.len() {
+            let l: usize = self.link_in[node].iter().map(VecDeque::len).sum();
+            assert_eq!(a.link_pending[node] as usize, l, "link_pending[{node}]");
+            assert!(l == 0 || a.link.contains(node), "link set missing {node}");
+            let c = self.credit_in[node].len() + self.nis[node].credit_queue.len();
+            assert_eq!(a.credit_pending[node] as usize, c, "credit_pending[{node}]");
+            assert!(c == 0 || a.credit.contains(node), "credit set missing {node}");
+            let b = self.routers[node].buffered_flits();
+            assert_eq!(a.buffered[node] as usize, b, "buffered[{node}]");
+            assert!(b == 0 || a.router.contains(node), "router set missing {node}");
+            let ni_busy = !self.nis[node].is_idle();
+            assert!(!ni_busy || a.ni.contains(node), "ni set missing {node}");
+            links += l;
+            credits += c;
+            buffered += b;
+            busy += usize::from(ni_busy);
+            queued += self.nis[node].queued();
+        }
+        assert_eq!(a.total_links, links, "total_links");
+        assert_eq!(a.total_credits, credits, "total_credits");
+        assert_eq!(a.total_buffered, buffered, "total_buffered");
+        assert_eq!(a.busy_nis, busy, "busy_nis");
+        assert_eq!(a.queued_packets, queued, "queued_packets");
+        assert_eq!(
+            a.sleep_events.len(),
+            a.sleep_event_at.iter().flatten().count(),
+            "sleep event queue out of lockstep with per-node entries"
+        );
+        for (node, &at) in a.sleep_event_at.iter().enumerate() {
+            if let Some(at) = at {
+                assert!(a.sleep_events.contains(&(at, node)), "orphan entry {node}");
+            }
+        }
+        if matches!(self.gating, GatingMode::Reactive { .. }) {
+            for (node, r) in self.routers.iter().enumerate() {
+                if r.powered_on && r.sleep != SleepState::Asleep {
+                    assert!(
+                        a.sleep_event_at[node].is_some(),
+                        "router {node} is {:?} but has no armed sleep check",
+                        r.sleep
+                    );
+                }
+            }
+        }
     }
 
     /// Advances the network by one cycle.
@@ -479,37 +840,152 @@ impl Network {
         }
     }
 
-    /// Reactive-gating bookkeeping: complete wakeups, put idle routers to
-    /// sleep, and account asleep cycles.
+    /// Reactive-gating bookkeeping: complete wakeups and put idle routers to
+    /// sleep. Asleep cycles are accounted lazily via `sleep_accum_from`
+    /// (materialized on wake, counting changes, and stats reads), so neither
+    /// engine pays a per-cycle scan for settled sleepers.
     fn update_sleep_states(&mut self, now: u64, mut probe: Option<&mut (dyn Probe + '_)>) {
         let GatingMode::Reactive { idle_threshold, .. } = self.gating else {
             return;
         };
-        for (node, r) in self.routers.iter_mut().enumerate() {
+        match self.engine {
+            StepEngine::ActiveSet => {
+                // Pop every due check, then process in ascending node order
+                // so probe events match the exhaustive sweep exactly (the
+                // queue orders by cycle first, which may interleave nodes).
+                let mut due: Vec<usize> = Vec::new();
+                while let Some(&(c, node)) = self.active.sleep_events.first() {
+                    if c > now {
+                        break;
+                    }
+                    self.active.sleep_events.pop_first();
+                    self.active.sleep_event_at[node] = None;
+                    due.push(node);
+                }
+                due.sort_unstable();
+                for node in due {
+                    self.check_sleep_state(node, now, idle_threshold, probe.as_deref_mut());
+                }
+            }
+            StepEngine::ExhaustiveSweep => {
+                for node in 0..self.routers.len() {
+                    self.check_sleep_state(node, now, idle_threshold, probe.as_deref_mut());
+                }
+            }
+        }
+    }
+
+    /// Re-evaluates one router's sleep state (shared by both engines).
+    /// Under the active-set engine the caller has just disarmed the node's
+    /// scheduled check, so every branch that leaves the router awake must
+    /// re-arm one to preserve the coverage invariant.
+    fn check_sleep_state(
+        &mut self,
+        node: usize,
+        now: u64,
+        idle_threshold: u64,
+        probe: Option<&mut (dyn Probe + '_)>,
+    ) {
+        let r = &self.routers[node];
+        if !r.powered_on {
+            return;
+        }
+        match r.sleep {
+            SleepState::Waking { ready_at } if ready_at <= now => {
+                self.finish_wake(node, now, probe);
+            }
+            SleepState::Waking { ready_at } => {
+                // Stale-early check; the wake completes at `ready_at`.
+                self.arm_sleep_event(node, ready_at);
+            }
+            SleepState::On => {
+                if !r.holds_state() && now.saturating_sub(r.last_activity) >= idle_threshold {
+                    self.fall_asleep(node, now, probe);
+                } else {
+                    // Not yet idle long enough (or blocked holding state):
+                    // check again at the earliest possible sleep cycle. A
+                    // busy router re-arms far ahead; only a *blocked* idle
+                    // router polls cycle by cycle.
+                    self.arm_sleep_event(node, (r.last_activity + idle_threshold).max(now + 1));
+                }
+            }
+            SleepState::Asleep => {}
+        }
+    }
+
+    /// Puts an idle router to sleep: state change, lazy-accounting interval
+    /// start, disarm, probe event.
+    fn fall_asleep(&mut self, node: usize, now: u64, probe: Option<&mut (dyn Probe + '_)>) {
+        let r = &mut self.routers[node];
+        r.sleep = SleepState::Asleep;
+        if r.counting {
+            debug_assert!(r.sleep_accum_from.is_none(), "nested sleep interval");
+            r.sleep_accum_from = Some(now);
+        }
+        self.disarm_sleep_event(node);
+        if let Some(p) = probe {
+            p.on_sleep_transition(now, NodeId(node), true);
+        }
+    }
+
+    /// Completes a wake: the router is operational again and its idle clock
+    /// restarts, so the next sleep check is armed a full threshold out.
+    fn finish_wake(&mut self, node: usize, now: u64, probe: Option<&mut (dyn Probe + '_)>) {
+        let r = &mut self.routers[node];
+        r.sleep = SleepState::On;
+        r.last_activity = now;
+        self.disarm_sleep_event(node);
+        if let GatingMode::Reactive { idle_threshold, .. } = self.gating {
+            self.arm_sleep_event(node, now + idle_threshold);
+        }
+        if let Some(p) = probe {
+            p.on_sleep_transition(now, NodeId(node), false);
+        }
+    }
+
+    /// Arms (or re-arms) the scheduled sleep-state check for `node`,
+    /// keeping the earlier of an existing and the new cycle — early checks
+    /// are re-verified and re-armed, so earlier is always safe.
+    fn arm_sleep_event(&mut self, node: usize, at: u64) {
+        match self.active.sleep_event_at[node] {
+            Some(existing) if existing <= at => {}
+            existing => {
+                if let Some(existing) = existing {
+                    self.active.sleep_events.remove(&(existing, node));
+                }
+                self.active.sleep_events.insert((at, node));
+                self.active.sleep_event_at[node] = Some(at);
+            }
+        }
+    }
+
+    /// Removes any scheduled sleep-state check for `node`.
+    fn disarm_sleep_event(&mut self, node: usize) {
+        if let Some(at) = self.active.sleep_event_at[node].take() {
+            self.active.sleep_events.remove(&(at, node));
+        }
+    }
+
+    /// Rebuilds the sleep-event queue from router state. Called whenever
+    /// gating mode or the power mask changes wholesale.
+    fn sync_sleep_events(&mut self) {
+        self.active.sleep_events.clear();
+        self.active.sleep_event_at.iter_mut().for_each(|e| *e = None);
+        let GatingMode::Reactive { idle_threshold, .. } = self.gating else {
+            return;
+        };
+        let now = self.now;
+        for node in 0..self.routers.len() {
+            let r = &self.routers[node];
             if !r.powered_on {
                 continue;
             }
-            match r.sleep {
-                SleepState::Waking { ready_at } if ready_at <= now => {
-                    r.sleep = SleepState::On;
-                    r.last_activity = now;
-                    if let Some(p) = probe.as_deref_mut() {
-                        p.on_sleep_transition(now, NodeId(node), false);
-                    }
-                }
-                SleepState::On
-                    if !r.holds_state() && now.saturating_sub(r.last_activity) >= idle_threshold =>
-                {
-                    r.sleep = SleepState::Asleep;
-                    if let Some(p) = probe.as_deref_mut() {
-                        p.on_sleep_transition(now, NodeId(node), true);
-                    }
-                }
-                _ => {}
-            }
-            if r.sleep == SleepState::Asleep && r.counting {
-                r.sleep_cycles += 1;
-            }
+            let at = match r.sleep {
+                SleepState::On => (r.last_activity + idle_threshold).max(now),
+                SleepState::Waking { ready_at } => ready_at.max(now),
+                SleepState::Asleep => continue,
+            };
+            self.arm_sleep_event(node, at);
         }
     }
 
@@ -549,9 +1025,16 @@ impl Network {
                     }
                     let r = &mut self.routers[node];
                     r.sleep = SleepState::Waking { ready_at };
+                    // Close the lazy sleep interval: the transition cycle
+                    // and this wake-trigger cycle both counted as asleep
+                    // under the per-cycle sweep, hence the `+ 1`.
+                    if let Some(from) = r.sleep_accum_from.take() {
+                        r.sleep_cycles += now - from + 1;
+                    }
                     if r.counting {
                         r.wakeups += 1;
                     }
+                    self.arm_sleep_event(node, ready_at);
                     false
                 }
             },
@@ -560,32 +1043,57 @@ impl Network {
 
     fn deliver_credits(&mut self, now: u64) -> usize {
         let mut events = 0;
-        for node in 0..self.mesh.len() {
-            while let Some(c) = self.credit_in[node].front() {
-                if c.arrive > now {
-                    break;
-                }
-                let c = self.credit_in[node].pop_front().expect("checked front");
-                self.routers[node].outputs[c.port].credits[c.vc] += 1;
-                debug_assert!(
-                    self.routers[node].outputs[c.port].credits[c.vc]
-                        <= self.params.buffer_depth as u32,
-                    "credit overflow at node {node} port {} vc {}",
-                    c.port,
-                    c.vc
-                );
-                events += 1;
+        match self.engine {
+            StepEngine::ActiveSet => {
+                let mut set = std::mem::take(&mut self.active.credit);
+                set.prepare();
+                set.retain_visit(|node| {
+                    events += self.deliver_credits_at(node, now);
+                    self.active.credit_pending[node] > 0
+                });
+                self.active.credit = set;
             }
-            let ni = &mut self.nis[node];
-            while let Some(&(arrive, vc)) = ni.credit_queue.front() {
-                if arrive > now {
-                    break;
+            StepEngine::ExhaustiveSweep => {
+                for node in 0..self.mesh.len() {
+                    events += self.deliver_credits_at(node, now);
                 }
-                ni.credit_queue.pop_front();
-                ni.credits[vc] += 1;
-                debug_assert!(ni.credits[vc] <= self.params.buffer_depth as u32);
-                events += 1;
             }
+        }
+        events
+    }
+
+    /// Stage-0 body for one node: lands every credit whose arrival cycle
+    /// has come, on both the router's output ports and the local NI.
+    fn deliver_credits_at(&mut self, node: usize, now: u64) -> usize {
+        let mut events = 0;
+        while let Some(c) = self.credit_in[node].front() {
+            if c.arrive > now {
+                break;
+            }
+            let c = self.credit_in[node].pop_front().expect("checked front");
+            self.routers[node].outputs[c.port].credits[c.vc] += 1;
+            debug_assert!(
+                self.routers[node].outputs[c.port].credits[c.vc]
+                    <= self.params.buffer_depth as u32,
+                "credit overflow at node {node} port {} vc {}",
+                c.port,
+                c.vc
+            );
+            self.active.credit_pending[node] -= 1;
+            self.active.total_credits -= 1;
+            events += 1;
+        }
+        let ni = &mut self.nis[node];
+        while let Some(&(arrive, vc)) = ni.credit_queue.front() {
+            if arrive > now {
+                break;
+            }
+            ni.credit_queue.pop_front();
+            ni.credits[vc] += 1;
+            debug_assert!(ni.credits[vc] <= self.params.buffer_depth as u32);
+            self.active.credit_pending[node] -= 1;
+            self.active.total_credits -= 1;
+            events += 1;
         }
         events
     }
@@ -596,40 +1104,79 @@ impl Network {
         mut probe: Option<&mut (dyn Probe + '_)>,
     ) -> Result<usize, SimError> {
         let mut events = 0;
-        for node in 0..self.mesh.len() {
-            // A frozen router accepts nothing; arrivals wait on the link.
-            if self.frozen(node, now) {
-                continue;
-            }
-            for port_idx in 0..Port::COUNT {
-                while let Some(tf) = self.link_in[node][port_idx].front() {
-                    if tf.arrive > now {
-                        break;
+        match self.engine {
+            StepEngine::ActiveSet => {
+                // The error (a dark-router contract violation) aborts the
+                // sweep exactly where the exhaustive driver would: nodes
+                // after the offender are retained untouched.
+                let mut err = None;
+                let mut set = std::mem::take(&mut self.active.link);
+                set.prepare();
+                set.retain_visit(|node| {
+                    if err.is_none() {
+                        match self.deliver_flits_at(node, now, probe.as_deref_mut()) {
+                            Ok(n) => events += n,
+                            Err(e) => err = Some(e),
+                        }
                     }
-                    if !self.routers[node].powered_on {
-                        return Err(SimError::DarkRouterEntered {
-                            node: NodeId(node),
-                            cycle: now,
-                        });
-                    }
-                    // Under reactive gating, an arriving flit at a sleeping
-                    // router triggers the wake and waits out the latency.
-                    if !self.ensure_awake(node, now, probe.as_deref_mut()) {
-                        break;
-                    }
-                    let tf = self.link_in[node][port_idx]
-                        .pop_front()
-                        .expect("checked front");
-                    self.buffer_write(
-                        node,
-                        Port::from_index(port_idx),
-                        tf.vc,
-                        tf.flit,
-                        now,
-                        probe.as_deref_mut(),
-                    );
-                    events += 1;
+                    self.active.link_pending[node] > 0
+                });
+                self.active.link = set;
+                if let Some(e) = err {
+                    return Err(e);
                 }
+            }
+            StepEngine::ExhaustiveSweep => {
+                for node in 0..self.mesh.len() {
+                    events += self.deliver_flits_at(node, now, probe.as_deref_mut())?;
+                }
+            }
+        }
+        Ok(events)
+    }
+
+    /// Stage-1 body for one node: lands every arrived link flit (BW + RC).
+    fn deliver_flits_at(
+        &mut self,
+        node: usize,
+        now: u64,
+        mut probe: Option<&mut (dyn Probe + '_)>,
+    ) -> Result<usize, SimError> {
+        // A frozen router accepts nothing; arrivals wait on the link.
+        if self.frozen(node, now) {
+            return Ok(0);
+        }
+        let mut events = 0;
+        for port_idx in 0..Port::COUNT {
+            while let Some(tf) = self.link_in[node][port_idx].front() {
+                if tf.arrive > now {
+                    break;
+                }
+                if !self.routers[node].powered_on {
+                    return Err(SimError::DarkRouterEntered {
+                        node: NodeId(node),
+                        cycle: now,
+                    });
+                }
+                // Under reactive gating, an arriving flit at a sleeping
+                // router triggers the wake and waits out the latency.
+                if !self.ensure_awake(node, now, probe.as_deref_mut()) {
+                    break;
+                }
+                let tf = self.link_in[node][port_idx]
+                    .pop_front()
+                    .expect("checked front");
+                self.active.link_pending[node] -= 1;
+                self.active.total_links -= 1;
+                self.buffer_write(
+                    node,
+                    Port::from_index(port_idx),
+                    tf.vc,
+                    tf.flit,
+                    now,
+                    probe.as_deref_mut(),
+                );
+                events += 1;
             }
         }
         Ok(events)
@@ -673,6 +1220,9 @@ impl Network {
         let was_empty = channel.occupancy() == 0;
         let is_head = flit.kind.is_head();
         channel.buffer.push_back(flit);
+        self.active.buffered[node] += 1;
+        self.active.total_buffered += 1;
+        self.active.router.insert(node);
         if was_empty && is_head && channel.state == VcState::Idle {
             self.resolve_route(node, port, vc, now, probe);
         }
@@ -796,6 +1346,8 @@ impl Network {
                     return false;
                 }
             };
+            self.active.buffered[node] -= 1;
+            self.active.total_buffered -= 1;
             self.fault_stats.flits_dropped += 1;
             self.return_credit(node, port, vc, now);
             if flit.kind.is_tail() {
@@ -815,10 +1367,40 @@ impl Network {
             return 0;
         }
         let mut actions = 0;
-        for node in 0..self.mesh.len() {
-            if self.frozen(node, now) {
-                continue;
+        match self.engine {
+            StepEngine::ActiveSet => {
+                // Parked packets have buffered head flits, so the router
+                // work-list covers every candidate. Read-only iteration:
+                // the body never inserts into the router set.
+                let mut set = std::mem::take(&mut self.active.router);
+                set.prepare();
+                for &node in set.as_slice() {
+                    actions += self.fault_reroute_at(node as usize, now, probe.as_deref_mut());
+                }
+                self.active.router = set;
             }
+            StepEngine::ExhaustiveSweep => {
+                for node in 0..self.mesh.len() {
+                    actions += self.fault_reroute_at(node, now, probe.as_deref_mut());
+                }
+            }
+        }
+        actions
+    }
+
+    /// Stage-2b body for one node: re-route or drop head-parked packets
+    /// whose chosen output link has died permanently.
+    fn fault_reroute_at(
+        &mut self,
+        node: usize,
+        now: u64,
+        mut probe: Option<&mut (dyn Probe + '_)>,
+    ) -> usize {
+        if self.frozen(node, now) {
+            return 0;
+        }
+        let mut actions = 0;
+        {
             for in_port in 0..Port::COUNT {
                 for in_vc in 0..self.params.vcs_per_port {
                     let (out_port, held_vc) = {
@@ -893,6 +1475,8 @@ impl Network {
                 self.nis[node]
                     .credit_queue
                     .push_back((now + self.params.credit_delay, vc));
+                self.active.credit_pending[node] += 1;
+                self.active.credit.insert(node);
             }
             Port::Dir(d) => {
                 let upstream = self
@@ -905,75 +1489,139 @@ impl Network {
                     vc,
                     arrive: now + self.params.credit_delay,
                 });
+                self.active.credit_pending[upstream.0] += 1;
+                self.active.credit.insert(upstream.0);
             }
         }
+        self.active.total_credits += 1;
     }
 
     fn inject(&mut self, now: u64, mut probe: Option<&mut (dyn Probe + '_)>) -> usize {
         let mut events = 0;
-        for node in 0..self.mesh.len() {
-            // A frozen router's NI cannot inject.
-            if self.frozen(node, now) {
-                continue;
+        match self.engine {
+            StepEngine::ActiveSet => {
+                let mut set = std::mem::take(&mut self.active.ni);
+                set.prepare();
+                set.retain_visit(|node| {
+                    events += self.inject_at(node, now, probe.as_deref_mut());
+                    !self.nis[node].is_idle()
+                });
+                self.active.ni = set;
             }
-            // A sleeping router must wake before its NI can inject.
-            if !self.nis[node].is_idle() && !self.ensure_awake(node, now, probe.as_deref_mut()) {
-                continue;
-            }
-            // Continue an in-progress packet first: wormhole injection never
-            // interleaves two packets on the local port.
-            let ni = &mut self.nis[node];
-            if ni.injecting.is_none() {
-                // Pick the next packet round-robin over vnet queues, then a
-                // free VC within that packet's vnet partition.
-                let vnets = ni.source.len();
-                'pick: for k in 0..vnets {
-                    let vq = (ni.vnet_rr + k) % vnets;
-                    let Some(pkt) = ni.source[vq].front().copied() else {
-                        continue;
-                    };
-                    let range = self.params.vnet_vcs(pkt.vnet);
-                    let width = range.len();
-                    for j in 0..width {
-                        let v = range.start + (ni.vc_rr + j) % width;
-                        if ni.credits[v] > 0 {
-                            ni.vc_rr = (v - range.start + 1) % width;
-                            ni.vnet_rr = (vq + 1) % vnets;
-                            ni.inject_vc = v;
-                            ni.injecting = Some((pkt, 0, now));
-                            ni.source[vq].pop_front();
-                            break 'pick;
-                        }
-                    }
-                }
-            }
-            let ni = &mut self.nis[node];
-            if let Some((pkt, seq, head_cycle)) = ni.injecting {
-                let v = ni.inject_vc;
-                if ni.credits[v] > 0 {
-                    ni.credits[v] -= 1;
-                    let flit = pkt.flit(seq, head_cycle);
-                    let done = seq + 1 == pkt.len;
-                    self.nis[node].injecting = if done { None } else { Some((pkt, seq + 1, head_cycle)) };
-                    self.buffer_write(node, Port::Local, v, flit, now, probe.as_deref_mut());
-                    if let Some(p) = probe.as_deref_mut() {
-                        p.on_injection(now, NodeId(node));
-                    }
-                    events += 1;
+            StepEngine::ExhaustiveSweep => {
+                for node in 0..self.mesh.len() {
+                    events += self.inject_at(node, now, probe.as_deref_mut());
                 }
             }
         }
         events
     }
 
+    /// Stage-2 body for one node: injects at most one flit from the local
+    /// NI (BW + RC at the local port).
+    fn inject_at(&mut self, node: usize, now: u64, mut probe: Option<&mut (dyn Probe + '_)>) -> usize {
+        // An idle NI has nothing to do (and must not trigger wake-ups).
+        if self.nis[node].is_idle() {
+            return 0;
+        }
+        // A frozen router's NI cannot inject.
+        if self.frozen(node, now) {
+            return 0;
+        }
+        // A sleeping router must wake before its NI can inject.
+        if !self.ensure_awake(node, now, probe.as_deref_mut()) {
+            return 0;
+        }
+        let mut events = 0;
+        // Continue an in-progress packet first: wormhole injection never
+        // interleaves two packets on the local port.
+        let ni = &mut self.nis[node];
+        if ni.injecting.is_none() {
+            // Pick the next packet round-robin over vnet queues, then a
+            // free VC within that packet's vnet partition.
+            let vnets = ni.source.len();
+            'pick: for k in 0..vnets {
+                let vq = (ni.vnet_rr + k) % vnets;
+                let Some(pkt) = ni.source[vq].front().copied() else {
+                    continue;
+                };
+                let range = self.params.vnet_vcs(pkt.vnet);
+                let width = range.len();
+                for j in 0..width {
+                    let v = range.start + (ni.vc_rr + j) % width;
+                    if ni.credits[v] > 0 {
+                        ni.vc_rr = (v - range.start + 1) % width;
+                        ni.vnet_rr = (vq + 1) % vnets;
+                        ni.inject_vc = v;
+                        ni.injecting = Some((pkt, 0, now));
+                        ni.source[vq].pop_front();
+                        self.active.queued_packets -= 1;
+                        break 'pick;
+                    }
+                }
+            }
+        }
+        let ni = &mut self.nis[node];
+        if let Some((pkt, seq, head_cycle)) = ni.injecting {
+            let v = ni.inject_vc;
+            if ni.credits[v] > 0 {
+                ni.credits[v] -= 1;
+                let flit = pkt.flit(seq, head_cycle);
+                let done = seq + 1 == pkt.len;
+                self.nis[node].injecting = if done { None } else { Some((pkt, seq + 1, head_cycle)) };
+                self.buffer_write(node, Port::Local, v, flit, now, probe.as_deref_mut());
+                if let Some(p) = probe {
+                    p.on_injection(now, NodeId(node));
+                }
+                events += 1;
+            }
+        }
+        // The whole backlog has drained once the last flit of the last
+        // queued packet goes in; the early returns above never flip this.
+        if self.nis[node].is_idle() {
+            self.active.busy_nis -= 1;
+        }
+        events
+    }
+
     fn vc_allocate(&mut self, now: u64, mut probe: Option<&mut (dyn Probe + '_)>) -> usize {
+        let mut grants = 0;
+        match self.engine {
+            StepEngine::ActiveSet => {
+                // VA requests need a buffered head flit, so the router
+                // work-list covers every requester. Read-only iteration:
+                // granting touches VC/alloc state, never buffer occupancy.
+                let mut set = std::mem::take(&mut self.active.router);
+                set.prepare();
+                for &node in set.as_slice() {
+                    grants += self.vc_allocate_at(node as usize, now, probe.as_deref_mut());
+                }
+                self.active.router = set;
+            }
+            StepEngine::ExhaustiveSweep => {
+                for node in 0..self.mesh.len() {
+                    grants += self.vc_allocate_at(node, now, probe.as_deref_mut());
+                }
+            }
+        }
+        grants
+    }
+
+    /// Stage-3 body for one node: separable VC allocation with rotating
+    /// priority per output port.
+    fn vc_allocate_at(
+        &mut self,
+        node: usize,
+        now: u64,
+        mut probe: Option<&mut (dyn Probe + '_)>,
+    ) -> usize {
         let mut grants = 0;
         let vcs = self.params.vcs_per_port;
         let id_space = Port::COUNT * vcs;
-        for node in 0..self.mesh.len() {
-            if !self.routers[node].is_operational() || self.frozen(node, now) {
-                continue;
-            }
+        if !self.routers[node].is_operational() || self.frozen(node, now) {
+            return 0;
+        }
+        {
             // Gather requests: (priority id, in_port, in_vc, out_port).
             let mut requests: Vec<(usize, usize, usize, usize)> = Vec::new();
             {
@@ -998,7 +1646,7 @@ impl Network {
                 }
             }
             if requests.is_empty() {
-                continue;
+                return 0;
             }
             for out_idx in 0..Port::COUNT {
                 let ptr = self.routers[node].va_rr[out_idx];
@@ -1053,11 +1701,48 @@ impl Network {
     fn switch_allocate(&mut self, now: u64, mut probe: Option<&mut (dyn Probe + '_)>) -> (usize, usize) {
         let mut grants = 0;
         let mut ejections = 0;
-        let vcs = self.params.vcs_per_port;
-        for node in 0..self.mesh.len() {
-            if !self.routers[node].is_operational() || self.frozen(node, now) {
-                continue;
+        match self.engine {
+            StepEngine::ActiveSet => {
+                // The last stage of the cycle drains the router work-list:
+                // a node stays only while flits remain buffered. Traversal
+                // inserts into the *link* and *credit* sets (other
+                // work-lists), never back into this one.
+                let mut set = std::mem::take(&mut self.active.router);
+                set.prepare();
+                set.retain_visit(|node| {
+                    let (g, e) = self.switch_allocate_at(node, now, probe.as_deref_mut());
+                    grants += g;
+                    ejections += e;
+                    self.active.buffered[node] > 0
+                });
+                self.active.router = set;
             }
+            StepEngine::ExhaustiveSweep => {
+                for node in 0..self.mesh.len() {
+                    let (g, e) = self.switch_allocate_at(node, now, probe.as_deref_mut());
+                    grants += g;
+                    ejections += e;
+                }
+            }
+        }
+        (grants, ejections)
+    }
+
+    /// Stage-4 body for one node: two-stage switch allocation (input then
+    /// output arbitration) followed by switch/link traversal of winners.
+    fn switch_allocate_at(
+        &mut self,
+        node: usize,
+        now: u64,
+        mut probe: Option<&mut (dyn Probe + '_)>,
+    ) -> (usize, usize) {
+        let mut grants = 0;
+        let mut ejections = 0;
+        let vcs = self.params.vcs_per_port;
+        if !self.routers[node].is_operational() || self.frozen(node, now) {
+            return (0, 0);
+        }
+        {
             // SA stage 1: one candidate VC per input port.
             let mut stage1: Vec<(usize, usize, Port, usize)> = Vec::new(); // (in_port, in_vc, out_port, out_vc)
             {
@@ -1171,6 +1856,8 @@ impl Network {
             }
             flit
         };
+        self.active.buffered[node] -= 1;
+        self.active.total_buffered -= 1;
 
         // Credit return for the freed input slot.
         let in_port_t = Port::from_index(in_port);
@@ -1206,6 +1893,9 @@ impl Network {
                     vc: out_vc,
                     arrive: now + latency,
                 });
+                self.active.link_pending[next.0] += 1;
+                self.active.total_links += 1;
+                self.active.link.insert(next.0);
                 if let Some(p) = probe.as_deref_mut() {
                     p.on_link_traversal(now, NodeId(node), next);
                 }
@@ -1642,5 +2332,146 @@ mod tests {
             total_events += net.step().unwrap().events;
         }
         assert!(total_events > 0);
+    }
+
+    #[test]
+    fn active_set_invariants_hold_through_traffic() {
+        let mut net = net();
+        net.set_gating_mode(GatingMode::Reactive {
+            idle_threshold: 15,
+            wakeup_latency: 6,
+        });
+        for i in 0..25 {
+            net.enqueue_packet(packet(i, (i % 16) as usize, ((i * 7) % 16) as usize, 5, 0));
+        }
+        for _ in 0..400 {
+            net.step().unwrap();
+            net.validate_active_sets();
+            net.drain_ejections();
+            if net.is_drained() {
+                break;
+            }
+        }
+        assert!(net.is_drained());
+        // Settle and re-check with the network idle.
+        for _ in 0..100 {
+            net.step().unwrap();
+        }
+        net.validate_active_sets();
+    }
+
+    #[test]
+    fn engines_are_bit_identical_per_cycle() {
+        let feed = |net: &mut Network| {
+            for i in 0..30 {
+                net.enqueue_packet(packet(i, (i % 16) as usize, ((i * 5) % 16) as usize, 4, 0));
+            }
+        };
+        let mut active = net();
+        let mut oracle = net();
+        oracle.set_step_engine(StepEngine::ExhaustiveSweep);
+        assert_eq!(active.step_engine(), StepEngine::ActiveSet);
+        feed(&mut active);
+        feed(&mut oracle);
+        for cycle in 0..600 {
+            let a = active.step().unwrap();
+            let o = oracle.step().unwrap();
+            assert_eq!(a, o, "step reports diverged at cycle {cycle}");
+            assert_eq!(
+                active.drain_ejections(),
+                oracle.drain_ejections(),
+                "ejections diverged at cycle {cycle}"
+            );
+            assert_eq!(active.in_flight(), oracle.in_flight());
+            if active.is_drained() && oracle.is_drained() {
+                break;
+            }
+        }
+        assert!(active.is_drained() && oracle.is_drained());
+    }
+
+    #[test]
+    fn engine_switch_mid_run_is_safe() {
+        let mut net = net();
+        for i in 0..20 {
+            net.enqueue_packet(packet(i, (i % 16) as usize, ((i * 3) % 16) as usize, 5, 0));
+        }
+        for cycle in 0..2_000 {
+            if cycle % 7 == 3 {
+                net.set_step_engine(StepEngine::ExhaustiveSweep);
+            } else {
+                net.set_step_engine(StepEngine::ActiveSet);
+            }
+            net.step().unwrap();
+            net.validate_active_sets();
+            net.drain_ejections();
+            if net.is_drained() {
+                break;
+            }
+        }
+        assert!(net.is_drained(), "mixed-engine run failed to drain");
+    }
+
+    #[test]
+    fn quiescence_tracks_pending_work() {
+        let mut net = net();
+        assert_eq!(net.quiescence(), Quiescence::Indefinite, "empty network");
+        net.enqueue_packet(packet(1, 0, 3, 1, 0));
+        assert_eq!(net.quiescence(), Quiescence::Active, "busy NI");
+        let mut guard = 0;
+        while !net.is_drained() {
+            net.step().unwrap();
+            guard += 1;
+            assert!(guard < 500);
+        }
+        // Credits may still be in flight right after the last ejection.
+        while net.quiescence() == Quiescence::Active {
+            net.step().unwrap();
+            guard += 1;
+            assert!(guard < 500);
+        }
+        assert_eq!(net.quiescence(), Quiescence::Indefinite, "fully settled");
+    }
+
+    #[test]
+    fn skip_idle_cycles_jumps_quiescent_network() {
+        let mut net = net();
+        assert_eq!(net.skip_idle_cycles(1_000), 1_000, "indefinitely quiet");
+        assert_eq!(net.now(), 1_000);
+        assert_eq!(net.skip_idle_cycles(500), 0, "bound in the past");
+        net.set_idle_fast_forward(false);
+        assert_eq!(net.skip_idle_cycles(2_000), 0, "fast-forward disabled");
+        net.set_idle_fast_forward(true);
+        net.enqueue_packet(packet(1, 0, 3, 1, 1_000));
+        assert_eq!(net.skip_idle_cycles(2_000), 0, "active network never skips");
+    }
+
+    #[test]
+    fn skip_idle_cycles_stops_at_sleep_events() {
+        let mut net = net();
+        net.set_gating_mode(GatingMode::Reactive {
+            idle_threshold: 50,
+            wakeup_latency: 10,
+        });
+        net.set_counting(true);
+        // Every router arms a sleep check at cycle 50; the skip must stop
+        // there, not jump the whole window.
+        let skipped = net.skip_idle_cycles(10_000);
+        assert_eq!(skipped, 50, "must stop at the first scheduled sleep check");
+        // Stepping/skipping through the events must reproduce the same
+        // sleep accounting as stepping every cycle (see
+        // reactive_gating_puts_idle_routers_to_sleep). Once every router is
+        // asleep no events remain armed and the skip jumps straight to the
+        // bound.
+        while net.now() < 200 {
+            if net.skip_idle_cycles(200) == 0 {
+                net.step().unwrap();
+            }
+            net.validate_active_sets();
+        }
+        for (i, &(sleep, wake)) in net.sleep_stats().iter().enumerate() {
+            assert_eq!(sleep, 150, "router {i} slept {sleep} of 150 cycles");
+            assert_eq!(wake, 0);
+        }
     }
 }

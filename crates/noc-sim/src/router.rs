@@ -254,7 +254,16 @@ pub struct Router {
     /// Last cycle with pipeline activity (buffer write or traversal).
     pub last_activity: u64,
     /// Cycles spent asleep (leakage saved), accumulated while counting.
+    ///
+    /// Materialized lazily: while the router is asleep *and* counting, the
+    /// open interval lives in [`Router::sleep_accum_from`] and is folded in
+    /// on wake / counting toggles, so steady asleep states cost nothing per
+    /// cycle. [`crate::network::Network::sleep_stats`] adds the open
+    /// interval when reporting.
     pub sleep_cycles: u64,
+    /// Cycle the current counted sleep interval began, when the router is
+    /// asleep with counting enabled; `None` otherwise.
+    pub sleep_accum_from: Option<u64>,
     /// Wake events (each costs wakeup energy), accumulated while counting.
     pub wakeups: u64,
 }
@@ -280,6 +289,7 @@ impl Router {
             sleep: SleepState::On,
             last_activity: 0,
             sleep_cycles: 0,
+            sleep_accum_from: None,
             wakeups: 0,
         }
     }

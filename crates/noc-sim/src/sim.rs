@@ -93,7 +93,9 @@ impl PacketAccounting {
 
 /// Result of a simulation run: latency/throughput statistics plus the router
 /// activity accumulated during the measurement window (for the power model).
-#[derive(Debug, Clone)]
+/// `PartialEq` compares every field, which is what the engine-equivalence
+/// suite uses to pin active-set vs exhaustive runs against each other.
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimOutcome {
     /// Delivered-traffic statistics.
     pub stats: SimStats,
@@ -214,6 +216,29 @@ impl Simulation {
             let measured_dropped = self.net.fault_stats().measured_packets_dropped;
             if now >= measure_end && measured_ejected + measured_dropped == measured_generated {
                 break;
+            }
+
+            // Idle fast-forward: when the generator is in a burst off-phase
+            // (the only time it consumes no randomness) and the network is
+            // quiescent, jump to the next cycle anything can happen —
+            // bounded so no phase boundary, epoch probe, generation cycle,
+            // scheduled fault, or sleep event is ever skipped over.
+            let gen_at = self.traffic.next_generation_at(now);
+            if gen_at > now {
+                let mut bound = hard_end.min(gen_at);
+                if now < warmup_end {
+                    bound = bound.min(warmup_end);
+                }
+                if now < measure_end {
+                    bound = bound.min(measure_end);
+                }
+                if epoch != 0 {
+                    bound = bound.min(now - now % epoch + epoch);
+                }
+                if self.net.skip_idle_cycles(bound) > 0 {
+                    idle_cycles = 0;
+                    continue;
+                }
             }
 
             // Open-loop generation continues through drain (unmeasured).

@@ -26,6 +26,17 @@ pub struct LatencySample {
     sorted: Cell<bool>,
 }
 
+/// Samples are equal when they hold the same population, regardless of
+/// insertion order or cache state (both sides are sorted first, which the
+/// quantile path would do anyway).
+impl PartialEq for LatencySample {
+    fn eq(&self, other: &Self) -> bool {
+        self.ensure_sorted();
+        other.ensure_sorted();
+        *self.values.borrow() == *other.values.borrow()
+    }
+}
+
 impl LatencySample {
     /// Creates an empty sample.
     pub fn new() -> Self {
@@ -288,7 +299,7 @@ impl StreamingHistogram {
 }
 
 /// Aggregated output of one simulation run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimStats {
     /// End-to-end packet latency (creation to tail delivery), cycles.
     pub packet_latency: LatencySample,

@@ -222,6 +222,19 @@ impl BurstSchedule {
         now % period < self.on_cycles
     }
 
+    /// Earliest cycle `>= now` at which the schedule is on, or `u64::MAX`
+    /// for an all-off schedule (`on_cycles == 0`).
+    pub fn next_on_at(&self, now: u64) -> u64 {
+        if self.is_on(now) {
+            return now;
+        }
+        if self.on_cycles == 0 {
+            return u64::MAX;
+        }
+        let period = self.on_cycles + self.off_cycles;
+        (now / period + 1) * period
+    }
+
     /// Fraction of time the schedule is on.
     pub fn duty_cycle(&self) -> f64 {
         let period = self.on_cycles + self.off_cycles;
@@ -343,6 +356,21 @@ impl TrafficGen {
     /// Total packets generated so far.
     pub fn generated(&self) -> u64 {
         self.next_id
+    }
+
+    /// Earliest cycle `>= now` at which [`TrafficGen::generate`] may draw
+    /// randomness or emit packets.
+    ///
+    /// During a burst off-phase `generate` returns before touching the RNG,
+    /// so the cycles until the next on-phase are skippable without
+    /// perturbing the random stream; everywhere else the generator consumes
+    /// randomness every cycle and nothing may be skipped. Idle fast-forward
+    /// in the simulation loop relies on exactly this contract.
+    pub fn next_generation_at(&self, now: u64) -> u64 {
+        match self.bursts {
+            Some(b) => b.next_on_at(now),
+            None => now,
+        }
     }
 }
 

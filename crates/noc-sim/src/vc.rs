@@ -43,11 +43,98 @@ impl VcState {
     }
 }
 
+/// Flit slots stored inline in a [`FlitQueue`] before spilling to the heap.
+/// Matches the paper's Table 1 buffer depth, so the common case — a VC FIFO
+/// at or below its credit-bounded depth of 4 — never allocates.
+pub const INLINE_FLITS: usize = 4;
+
+/// A FIFO of flits with fixed-capacity inline storage.
+///
+/// The first [`INLINE_FLITS`] flits live in an inline ring buffer; anything
+/// beyond spills to a heap [`VecDeque`]. Deeper-buffer configurations
+/// (`buffer_depth > 4`) still work — they just pay the spill. The API
+/// mirrors the `VecDeque` subset the router pipeline uses, and FIFO order is
+/// preserved across the spill boundary in both directions.
+#[derive(Debug, Clone, Default)]
+pub struct FlitQueue {
+    /// Inline ring; `None` slots are free.
+    inline: [Option<Flit>; INLINE_FLITS],
+    /// Ring index of the front flit.
+    head: usize,
+    /// Flits currently held inline.
+    inline_len: usize,
+    /// Overflow beyond the inline capacity, oldest first. Invariant: empty
+    /// unless the inline ring is full.
+    spill: VecDeque<Flit>,
+}
+
+impl FlitQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of buffered flits.
+    pub fn len(&self) -> usize {
+        self.inline_len + self.spill.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inline_len == 0
+    }
+
+    /// Flit at the front of the FIFO.
+    pub fn front(&self) -> Option<&Flit> {
+        if self.inline_len == 0 {
+            None
+        } else {
+            self.inline[self.head].as_ref()
+        }
+    }
+
+    /// Appends a flit at the back.
+    pub fn push_back(&mut self, flit: Flit) {
+        if self.inline_len < INLINE_FLITS && self.spill.is_empty() {
+            let slot = (self.head + self.inline_len) % INLINE_FLITS;
+            debug_assert!(self.inline[slot].is_none(), "inline slot occupied");
+            self.inline[slot] = Some(flit);
+            self.inline_len += 1;
+        } else {
+            self.spill.push_back(flit);
+        }
+    }
+
+    /// Removes and returns the front flit.
+    pub fn pop_front(&mut self) -> Option<Flit> {
+        if self.inline_len == 0 {
+            debug_assert!(self.spill.is_empty(), "spill populated under empty ring");
+            return None;
+        }
+        let flit = self.inline[self.head].take().expect("front slot occupied");
+        self.head = (self.head + 1) % INLINE_FLITS;
+        self.inline_len -= 1;
+        // Refill the freed slot from the spill so the inline ring always
+        // holds the oldest flits.
+        if let Some(promoted) = self.spill.pop_front() {
+            let slot = (self.head + self.inline_len) % INLINE_FLITS;
+            self.inline[slot] = Some(promoted);
+            self.inline_len += 1;
+        }
+        Some(flit)
+    }
+
+    /// Number of flits currently spilled to the heap (diagnostics/tests).
+    pub fn spilled(&self) -> usize {
+        self.spill.len()
+    }
+}
+
 /// One input virtual channel: a flit FIFO plus allocation state.
 #[derive(Debug, Clone)]
 pub struct VirtualChannel {
     /// Buffered flits, head of packet at the front.
-    pub buffer: VecDeque<Flit>,
+    pub buffer: FlitQueue,
     /// Allocation state.
     pub state: VcState,
 }
@@ -56,7 +143,7 @@ impl VirtualChannel {
     /// Creates an empty, idle VC.
     pub fn new() -> Self {
         VirtualChannel {
-            buffer: VecDeque::new(),
+            buffer: FlitQueue::new(),
             state: VcState::Idle,
         }
     }
@@ -107,23 +194,116 @@ mod tests {
         );
     }
 
-    #[test]
-    fn fifo_order_is_preserved() {
-        let mut vc = VirtualChannel::new();
-        let p = Packet {
+    fn test_packet(len: u32) -> Packet {
+        Packet {
             id: PacketId(0),
             src: NodeId(0),
             dst: NodeId(1),
-            len: 3,
+            len,
             created: 0,
             measured: false,
             vnet: 0,
-        };
+        }
+    }
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let mut vc = VirtualChannel::new();
+        let p = test_packet(3);
         for seq in 0..3 {
             vc.buffer.push_back(p.flit(seq, 0));
         }
         assert_eq!(vc.head().unwrap().seq, 0);
         vc.buffer.pop_front();
         assert_eq!(vc.head().unwrap().seq, 1);
+    }
+
+    #[test]
+    fn queue_stays_inline_at_capacity() {
+        let mut q = FlitQueue::new();
+        let p = test_packet(INLINE_FLITS as u32);
+        for seq in 0..INLINE_FLITS as u32 {
+            q.push_back(p.flit(seq, 0));
+        }
+        assert_eq!(q.len(), INLINE_FLITS);
+        assert_eq!(q.spilled(), 0, "at capacity must not spill");
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn queue_spills_past_capacity_and_preserves_order() {
+        let total = 3 * INLINE_FLITS as u32;
+        let mut q = FlitQueue::new();
+        let p = test_packet(total);
+        for seq in 0..total {
+            q.push_back(p.flit(seq, 0));
+        }
+        assert_eq!(q.len(), total as usize);
+        assert_eq!(q.spilled(), total as usize - INLINE_FLITS);
+        for seq in 0..total {
+            assert_eq!(q.front().unwrap().seq, seq);
+            assert_eq!(q.pop_front().unwrap().seq, seq);
+        }
+        assert!(q.is_empty());
+        assert!(q.pop_front().is_none());
+    }
+
+    #[test]
+    fn spill_boundary_round_trips() {
+        // Alternate pushes and pops around the boundary: the queue must
+        // promote spilled flits in order and keep the inline ring full (the
+        // spill only ever carries the overflow past INLINE_FLITS).
+        let mut q = FlitQueue::new();
+        let p = test_packet(64);
+        let mut next_push = 0u32;
+        let mut next_pop = 0u32;
+        for round in 0..8 {
+            // Push one past the inline capacity, pop most of it back; each
+            // round nets +1 occupancy, walking the fill level across the
+            // spill boundary.
+            for _ in 0..=INLINE_FLITS {
+                q.push_back(p.flit(next_push, 0));
+                next_push += 1;
+            }
+            assert!(q.spilled() > 0, "round {round} should have spilled");
+            for _ in 0..INLINE_FLITS {
+                assert_eq!(q.pop_front().unwrap().seq, next_pop);
+                next_pop += 1;
+            }
+            assert_eq!(
+                q.spilled(),
+                q.len().saturating_sub(INLINE_FLITS),
+                "round {round}: spill must only hold the overflow"
+            );
+        }
+        while let Some(f) = q.pop_front() {
+            assert_eq!(f.seq, next_pop);
+            next_pop += 1;
+        }
+        assert_eq!(next_push, next_pop, "every pushed flit popped exactly once");
+    }
+
+    #[test]
+    fn interleaved_push_pop_never_reorders() {
+        // Wrap the ring many times with a drifting head index.
+        let mut q = FlitQueue::new();
+        let p = test_packet(1000);
+        let mut next_push = 0u32;
+        let mut next_pop = 0u32;
+        for i in 0..300u32 {
+            let pushes = 1 + (i % 3);
+            for _ in 0..pushes {
+                q.push_back(p.flit(next_push, 0));
+                next_push += 1;
+            }
+            let pops = 1 + (i % 2);
+            for _ in 0..pops {
+                if let Some(f) = q.pop_front() {
+                    assert_eq!(f.seq, next_pop);
+                    next_pop += 1;
+                }
+            }
+        }
+        assert_eq!(q.len() as u32, next_push - next_pop);
     }
 }

@@ -16,6 +16,32 @@
 pub mod strategy;
 pub mod test_runner;
 
+/// `proptest::arbitrary` subset: `any::<T>()` for the primitives the
+/// workspace's suites draw without an explicit range.
+pub mod arbitrary {
+    use crate::strategy::{AnyBool, Strategy};
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary {
+        /// The strategy [`any()`] returns for this type.
+        type Strategy: Strategy<Value = Self>;
+        /// The canonical strategy over the whole domain.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    impl Arbitrary for bool {
+        type Strategy = AnyBool;
+        fn arbitrary() -> AnyBool {
+            AnyBool
+        }
+    }
+
+    /// The canonical full-domain strategy for `T` (upstream `any::<T>()`).
+    pub fn any<T: Arbitrary>() -> T::Strategy {
+        T::arbitrary()
+    }
+}
+
 /// Collection strategies (`proptest::collection`).
 pub mod collection {
     use crate::strategy::Strategy;
@@ -74,6 +100,7 @@ pub mod collection {
 
 /// The prelude, mirroring `proptest::prelude`.
 pub mod prelude {
+    pub use crate::arbitrary::any;
     pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::{ProptestConfig, TestCaseError};
     pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};

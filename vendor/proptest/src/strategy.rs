@@ -138,7 +138,18 @@ macro_rules! impl_range_strategy {
     )*};
 }
 
-impl_range_strategy!(u16, u32, u64, usize, f64);
+impl_range_strategy!(u8, u16, u32, u64, usize, f64);
+
+/// `any::<bool>()` strategy: a fair coin flip.
+#[derive(Debug, Clone, Copy)]
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.rng.gen_range(0u32..2) == 1
+    }
+}
 
 macro_rules! impl_tuple_strategy {
     ($($name:ident),+) => {

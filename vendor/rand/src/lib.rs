@@ -111,7 +111,7 @@ macro_rules! impl_int_range {
     )*};
 }
 
-impl_int_range!(u16, u32, u64, usize);
+impl_int_range!(u8, u16, u32, u64, usize);
 
 macro_rules! impl_float_range {
     ($($t:ty),*) => {$(
