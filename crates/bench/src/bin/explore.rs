@@ -5,7 +5,7 @@
 //! explore [--mesh WxH] [--master N] [--level K] [--rate R]
 //!         [--pattern uniform|transpose|bitcomp|tornado|shuffle|hotspot|neighbor]
 //!         [--full] [--seed S] [--loads R1,R2,...] [--workers W]
-//!         [--telemetry DIR]
+//!         [--telemetry DIR] [--service SOCKET]
 //! ```
 //!
 //! By default: paper 4x4 mesh, master 0, level 4, uniform at 0.1
@@ -21,6 +21,12 @@
 //! Format — load in `chrome://tracing`) and one
 //! `explore.point<N>.timeseries.csv` per operating point. Telemetry only
 //! observes: the printed curve is bit-identical with it on or off.
+//!
+//! `--service SOCKET` (or `NOC_SERVE_SOCKET=PATH`) submits the operating
+//! point(s) to a running `noc_serve` daemon instead of simulating locally,
+//! so repeated explorations hit the daemon's persistent cache. The daemon
+//! owns the experiment configuration, so this mode requires the defaults
+//! it serves: paper 4x4 mesh, master 0, no `--full`. See `SERVICE.md`.
 
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -36,7 +42,7 @@ use noc_sim::topology::Mesh2D;
 use noc_sim::traffic::{Placement, TrafficGen, TrafficPattern};
 use noc_sprinting::cdor::CdorRouting;
 use noc_sprinting::config::SystemConfig;
-use noc_sprinting::runner::ExperimentRunner;
+use noc_sprinting::runner::{ExperimentRunner, SyntheticBaseline, SyntheticJob};
 use noc_sprinting::sprint_topology::SprintSet;
 use noc_sprinting::telemetry::{ManifestPoint, RunManifest, SpanRecorder};
 
@@ -58,6 +64,7 @@ struct Args {
     loads: Option<Vec<f64>>,
     workers: Option<usize>,
     telemetry: Option<PathBuf>,
+    service: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -73,6 +80,7 @@ fn parse_args() -> Result<Args, String> {
         loads: None,
         workers: None,
         telemetry: None,
+        service: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -114,6 +122,7 @@ fn parse_args() -> Result<Args, String> {
                 args.loads = Some(loads);
             }
             "--telemetry" => args.telemetry = Some(PathBuf::from(take(&mut i)?)),
+            "--service" => args.service = Some(PathBuf::from(take(&mut i)?)),
             "--full" => args.full = true,
             "--pattern" => {
                 args.pattern = match take(&mut i)?.as_str() {
@@ -130,7 +139,8 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 return Err("usage: explore [--mesh WxH] [--master N] [--level K] \
                             [--rate R] [--pattern P] [--full] [--seed S] \
-                            [--loads R1,R2,...] [--workers W] [--telemetry DIR]"
+                            [--loads R1,R2,...] [--workers W] [--telemetry DIR] \
+                            [--service SOCKET]"
                     .into())
             }
             other => return Err(format!("unknown flag {other} (try --help)")),
@@ -139,6 +149,9 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.telemetry.is_none() {
         args.telemetry = std::env::var_os("NOC_BENCH_TELEMETRY").map(PathBuf::from);
+    }
+    if args.service.is_none() {
+        args.service = std::env::var_os("NOC_SERVE_SOCKET").map(PathBuf::from);
     }
     Ok(args)
 }
@@ -175,6 +188,11 @@ fn main() {
         args.rate,
         format_args!("pattern {:?}", args.pattern),
     );
+
+    if let Some(socket) = args.service.clone() {
+        run_service_mode(&args, &socket);
+        return;
+    }
 
     if let Some(loads) = args.loads.clone() {
         run_sweep_mode(&args, mesh, &set, loads);
@@ -231,6 +249,81 @@ fn main() {
             std::process::exit(1);
         }
     }
+}
+
+/// `--service` mode: submit the operating point(s) to a `noc_serve`
+/// daemon instead of simulating in-process. The daemon evaluates jobs
+/// against *its* experiment configuration, so flags that would change the
+/// local world (`--full`, a non-default mesh or master) are rejected
+/// rather than silently ignored.
+fn run_service_mode(args: &Args, socket: &std::path::Path) {
+    if args.full {
+        eprintln!("--service cannot serve --full: the daemon runs the sprinting configuration");
+        std::process::exit(2);
+    }
+    if (args.width, args.height) != (4, 4) || args.master != 0 {
+        eprintln!(
+            "--service serves the daemon's experiment (paper 4x4 mesh, master 0); \
+             drop --mesh/--master or run locally"
+        );
+        std::process::exit(2);
+    }
+    let jobs: Vec<SyntheticJob> = match &args.loads {
+        Some(loads) => loads
+            .iter()
+            .enumerate()
+            .map(|(i, &rate)| SyntheticJob {
+                level: args.level,
+                pattern: args.pattern,
+                rate,
+                seed: point_seed(args.seed, i),
+                baseline: SyntheticBaseline::NocSprinting,
+            })
+            .collect(),
+        None => vec![SyntheticJob {
+            level: args.level,
+            pattern: args.pattern,
+            rate: args.rate,
+            seed: args.seed,
+            baseline: SyntheticBaseline::NocSprinting,
+        }],
+    };
+    let mut client = match noc_bench::client::connect_unix(socket) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot reach noc-serve at {}: {e}", socket.display());
+            std::process::exit(2);
+        }
+    };
+    let batch = match client.submit("explore", &jobs) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("service submission failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "{:>8} {:>14} {:>14} {:>10} {:>5} {:>5}",
+        "offered", "pkt lat (cyc)", "net lat (cyc)", "accepted", "sat", "hit"
+    );
+    for (job, (m, p)) in jobs.iter().zip(batch.metrics.iter().zip(&batch.points)) {
+        println!(
+            "{:8.3} {:14.2} {:14.2} {:10.3} {:>5} {:>5}",
+            job.rate,
+            m.avg_packet_latency,
+            m.avg_network_latency,
+            m.accepted_throughput,
+            if m.saturated { "yes" } else { "no" },
+            if p.cache_hit { "yes" } else { "no" }
+        );
+    }
+    eprintln!(
+        "[{} points via noc-serve at {}: {} cache hits, daemon wall {:.2} ms]",
+        batch.summary.points,
+        socket.display(),
+        batch.summary.cache_hits,
+        batch.summary.wall_ms
+    );
 }
 
 /// `--loads` mode: a latency-vs-load sweep over the parallel runner, with

@@ -9,7 +9,10 @@
 //!
 //! Every operating point is independent, so the whole figure fans out
 //! through the parallel `ExperimentRunner` (set `NOC_BENCH_WORKERS=1` for
-//! the serial path — the numbers are bit-identical either way).
+//! the serial path — the numbers are bit-identical either way). With
+//! `--service <socket>` (or `NOC_SERVE_SOCKET`) the harness routes every
+//! point through a running `noc_serve` daemon instead, so repeat figure
+//! runs are answered from its persistent result cache — see SERVICE.md.
 //!
 //! Paper: pre-saturation latency cut 45.1% (4-core) / 16.1% (8-core);
 //! power cut 62.1% / 25.9%; NoC-sprinting saturates earlier, which is

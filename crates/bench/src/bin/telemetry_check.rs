@@ -4,11 +4,20 @@
 //! seed schedule, every `"fault"` record must name a valid point and a
 //! non-empty event kind, every point carrying packet-accounting metrics
 //! must satisfy `generated == delivered + dropped + outstanding`, and every
-//! `*.trace.json` must be a well-formed Chrome Trace Event file. Exits
+//! `*.trace.json` must be a well-formed Chrome Trace Event file. `noc-serve`
+//! cache segments (`*.cache.jsonl`, see `SERVICE.md`) are validated too:
+//! every line must parse as a cache record with a non-empty version stamp,
+//! and a key appearing more than once must always carry bit-identical
+//! metrics (duplicates across segments are how append-only persistence
+//! works; *disagreeing* duplicates mean the cache key is broken). Exits
 //! nonzero (with a message per offending file) if anything is malformed or
 //! if the directory holds no telemetry at all — which makes it a usable CI
-//! smoke check after running a figure binary with `--telemetry DIR`.
+//! smoke check after running a figure binary with `--telemetry DIR` or a
+//! daemon with `--cache DIR`.
 
+use std::collections::HashMap;
+
+use noc_sprinting::service::CacheRecord;
 use noc_sprinting::telemetry::{validate_chrome_trace, RunManifest};
 
 /// Checks one manifest's internal coherence beyond what parsing enforces.
@@ -76,6 +85,41 @@ fn check_manifest(m: &RunManifest) -> Result<(), String> {
     Ok(())
 }
 
+/// Validates one `noc-serve` cache segment: every line parses as a
+/// [`CacheRecord`] (non-empty version enforced by the parser), the stored
+/// seed agrees with earlier sightings of the same key, and duplicate keys
+/// carry bit-identical values (compared on the canonical line encoding, so
+/// NaN/−0.0 don't false-negative through `f64` equality). Returns
+/// `(records, duplicates)` for the segment.
+fn check_cache_segment(
+    text: &str,
+    seen: &mut HashMap<u64, String>,
+) -> Result<(usize, usize), String> {
+    let (mut records, mut duplicates) = (0usize, 0usize);
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let rec = CacheRecord::from_json_line(line)
+            .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        records += 1;
+        let canonical = rec.to_json_line();
+        match seen.insert(rec.key, canonical.clone()) {
+            None => {}
+            Some(prev) if prev == canonical => duplicates += 1,
+            Some(_) => {
+                return Err(format!(
+                    "line {}: key {:#018x} re-appears with a different value — \
+                     the cache key no longer identifies a unique result",
+                    lineno + 1,
+                    rec.key
+                ));
+            }
+        }
+    }
+    Ok((records, duplicates))
+}
+
 fn main() {
     let Some(dir) = std::env::args().nth(1) else {
         eprintln!("usage: telemetry_check DIR");
@@ -88,7 +132,8 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let (mut manifests, mut traces, mut failures) = (0usize, 0usize, 0usize);
+    let (mut manifests, mut traces, mut segments, mut failures) = (0usize, 0usize, 0usize, 0usize);
+    let mut cache_seen: HashMap<u64, String> = HashMap::new();
     let mut paths: Vec<_> = entries
         .filter_map(Result::ok)
         .map(|e| e.path())
@@ -129,13 +174,32 @@ fn main() {
                     failures += 1;
                 }
             }
+        } else if name.ends_with(".cache.jsonl") {
+            segments += 1;
+            let outcome = std::fs::read_to_string(&path)
+                .map_err(|e| e.to_string())
+                .and_then(|text| check_cache_segment(&text, &mut cache_seen));
+            match outcome {
+                Ok((records, duplicates)) => println!(
+                    "ok {name}: {records} cache record(s), {duplicates} duplicate(s)"
+                ),
+                Err(e) => {
+                    eprintln!("FAIL {name}: {e}");
+                    failures += 1;
+                }
+            }
         }
     }
-    if manifests == 0 && traces == 0 {
-        eprintln!("FAIL: no *.manifest.jsonl or *.trace.json files in {dir}");
+    if manifests == 0 && traces == 0 && segments == 0 {
+        eprintln!(
+            "FAIL: no *.manifest.jsonl, *.trace.json or *.cache.jsonl files in {dir}"
+        );
         std::process::exit(1);
     }
-    println!("checked {manifests} manifest(s), {traces} trace(s), {failures} failure(s)");
+    println!(
+        "checked {manifests} manifest(s), {traces} trace(s), {segments} cache segment(s), \
+         {failures} failure(s)"
+    );
     if failures > 0 {
         std::process::exit(1);
     }

@@ -9,6 +9,8 @@
 
 #![warn(missing_docs)]
 
+pub mod client;
+
 use std::fmt::Write as _;
 use std::io::IsTerminal as _;
 use std::path::{Path, PathBuf};
@@ -18,6 +20,7 @@ use std::time::Instant;
 use noc_sim::error::SimError;
 use noc_sprinting::experiment::{Experiment, NetworkMetrics};
 use noc_sprinting::runner::{ExperimentRunner, ResultCache, SyntheticJob};
+use noc_sprinting::service::metric_pairs;
 use noc_sprinting::telemetry::{ManifestPoint, RunManifest, SpanRecorder};
 
 /// Worker-count override for the figure binaries: `NOC_BENCH_WORKERS=1`
@@ -48,6 +51,24 @@ pub fn telemetry_dir_from_env() -> Option<PathBuf> {
     std::env::var_os("NOC_BENCH_TELEMETRY").map(PathBuf::from)
 }
 
+/// `noc-serve` socket path for the figure binaries: the `--service <path>`
+/// (or `--service=<path>`) command-line flag wins, falling back to the
+/// `NOC_SERVE_SOCKET` environment variable; `None` means run everything
+/// in-process as usual. See `SERVICE.md` for the daemon side.
+pub fn service_socket_from_env() -> Option<PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--service" {
+            if let Some(path) = args.next() {
+                return Some(PathBuf::from(path));
+            }
+        } else if let Some(path) = a.strip_prefix("--service=") {
+            return Some(PathBuf::from(path));
+        }
+    }
+    std::env::var_os("NOC_SERVE_SOCKET").map(PathBuf::from)
+}
+
 /// Whether the figure binaries should print live progress lines to stderr:
 /// `NOC_BENCH_PROGRESS=1`/`0` forces it on/off, otherwise it follows
 /// whether stderr is a terminal (so redirected CI logs stay clean).
@@ -66,6 +87,27 @@ struct Telemetry {
     points: Mutex<Vec<ManifestPoint>>,
 }
 
+/// A `ServiceClient` with its transport erased, so the harness does not
+/// care whether it talks to a socket, a pipe, or a test buffer.
+type BoxedClient =
+    client::ServiceClient<Box<dyn std::io::BufRead + Send>, Box<dyn std::io::Write + Send>>;
+
+/// Remote-execution state when the harness submits through `noc-serve`.
+struct Remote {
+    socket: PathBuf,
+    client: Mutex<BoxedClient>,
+    /// `(points, cache hits)` as reported by the daemon's point stream.
+    stats: Mutex<(u64, u64)>,
+}
+
+impl std::fmt::Debug for Remote {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Remote")
+            .field("socket", &self.socket)
+            .finish_non_exhaustive()
+    }
+}
+
 /// The execution context shared by the figure/ablation binaries: a
 /// deterministic parallel [`ExperimentRunner`] plus a [`ResultCache`] so a
 /// point that several tables share is simulated once.
@@ -79,12 +121,19 @@ struct Telemetry {
 /// [`FigureHarness::finish`] writes `<dir>/<figure>.manifest.jsonl` plus
 /// `<dir>/<figure>.trace.json` (Chrome Trace Event Format). Telemetry only
 /// *observes* the run — results are byte-identical with it on or off.
+///
+/// With a `noc-serve` socket configured (`--service <path>` /
+/// `NOC_SERVE_SOCKET`), batches are submitted to the daemon instead of
+/// simulated in-process; the daemon's persistent cache then makes repeated
+/// figure runs skip already-simulated points bit-identically. See
+/// `SERVICE.md` for the wire contract.
 #[derive(Debug)]
 pub struct FigureHarness {
     runner: ExperimentRunner,
     cache: ResultCache<NetworkMetrics>,
     started: Instant,
     telemetry: Option<Telemetry>,
+    remote: Option<Remote>,
 }
 
 impl Default for FigureHarness {
@@ -95,7 +144,11 @@ impl Default for FigureHarness {
 
 impl FigureHarness {
     /// A harness honoring the `NOC_BENCH_WORKERS`, `NOC_BENCH_TELEMETRY`
-    /// (or `--telemetry <dir>`) and `NOC_BENCH_PROGRESS` overrides.
+    /// (or `--telemetry <dir>`), `NOC_BENCH_PROGRESS` and `--service
+    /// <path>` / `NOC_SERVE_SOCKET` overrides. A configured service socket
+    /// that cannot be dialed aborts the process with a diagnostic — a
+    /// silent fall-back to local execution would defeat the cache the user
+    /// asked for.
     pub fn new() -> Self {
         let mut harness = Self::with_telemetry_dir(telemetry_dir_from_env());
         if progress_from_env() {
@@ -107,7 +160,63 @@ impl FigureHarness {
                 .unwrap_or_else(|| "progress".to_string());
             harness.runner = harness.runner.with_echo(label);
         }
+        if let Some(socket) = service_socket_from_env() {
+            harness = harness.connect_service(&socket).unwrap_or_else(|e| {
+                eprintln!(
+                    "error: cannot reach noc-serve at {}: {e}",
+                    socket.display()
+                );
+                std::process::exit(2);
+            });
+        }
         harness
+    }
+
+    /// Routes this harness's batches to the `noc-serve` daemon listening
+    /// on the Unix socket at `socket` (see `SERVICE.md`).
+    ///
+    /// # Errors
+    ///
+    /// Socket connection failure.
+    #[cfg(unix)]
+    pub fn connect_service(self, socket: &Path) -> std::io::Result<Self> {
+        let stream = std::os::unix::net::UnixStream::connect(socket)?;
+        let reader: Box<dyn std::io::BufRead + Send> =
+            Box::new(std::io::BufReader::new(stream.try_clone()?));
+        let writer: Box<dyn std::io::Write + Send> = Box::new(stream);
+        Ok(self.with_service_transport(socket.to_path_buf(), reader, writer))
+    }
+
+    /// Unix-socket service mode is unavailable on this platform.
+    ///
+    /// # Errors
+    ///
+    /// Always `Unsupported`.
+    #[cfg(not(unix))]
+    pub fn connect_service(self, socket: &Path) -> std::io::Result<Self> {
+        let _ = socket;
+        Err(std::io::Error::new(
+            std::io::ErrorKind::Unsupported,
+            "noc-serve sockets require a Unix platform",
+        ))
+    }
+
+    /// Routes this harness's batches through an already-open service
+    /// transport (any `BufRead`/`Write` pair speaking the `SERVICE.md`
+    /// protocol — a socket, a child daemon's stdio, or test buffers).
+    /// `socket` is only used for reporting.
+    pub fn with_service_transport(
+        mut self,
+        socket: PathBuf,
+        reader: Box<dyn std::io::BufRead + Send>,
+        writer: Box<dyn std::io::Write + Send>,
+    ) -> Self {
+        self.remote = Some(Remote {
+            socket,
+            client: Mutex::new(client::ServiceClient::over(reader, writer)),
+            stats: Mutex::new((0, 0)),
+        });
+        self
     }
 
     /// A harness writing telemetry to `dir` (or none for `None`),
@@ -134,6 +243,7 @@ impl FigureHarness {
             cache: ResultCache::new(),
             started: Instant::now(),
             telemetry,
+            remote: None,
         }
     }
 
@@ -149,16 +259,48 @@ impl FigureHarness {
     }
 
     /// Runs a batch of synthetic operating points through the pool and the
-    /// cache; results come back in job order.
+    /// cache — or, in service mode, submits it to the `noc-serve` daemon —
+    /// results come back in job order either way, bit-identically.
     ///
     /// # Errors
     ///
     /// The lowest-indexed failing job's simulator error.
+    ///
+    /// # Panics
+    ///
+    /// In service mode, on transport/protocol failures or daemon-side
+    /// point failures (the simulator error does not survive the wire as a
+    /// typed value).
     pub fn run(
         &self,
         experiment: &Experiment,
         jobs: &[SyntheticJob],
     ) -> Result<Vec<NetworkMetrics>, SimError> {
+        if let Some(remote) = &self.remote {
+            let batch = remote
+                .client
+                .lock()
+                .expect("service client poisoned")
+                .submit("bench", jobs)
+                .unwrap_or_else(|e| {
+                    panic!("noc-serve at {}: {e}", remote.socket.display())
+                });
+            {
+                let mut stats = remote.stats.lock().expect("remote stats poisoned");
+                stats.0 += batch.points.len() as u64;
+                stats.1 += batch.points.iter().filter(|p| p.cache_hit).count() as u64;
+            }
+            if let Some(t) = &self.telemetry {
+                let mut pts = t.points.lock().expect("telemetry points poisoned");
+                for point in &batch.points {
+                    // Re-index into this harness's cross-batch sequence.
+                    let mut point = point.clone();
+                    point.index = pts.len();
+                    pts.push(point);
+                }
+            }
+            return Ok(batch.metrics);
+        }
         let detailed = self
             .runner
             .run_synthetic_jobs_detailed(experiment, jobs, Some(&self.cache))?;
@@ -172,13 +314,7 @@ impl FigureHarness {
                     config_hash: job.cache_key(),
                     cache_hit: d.cache_hit,
                     duration_ms: d.duration.as_secs_f64() * 1e3,
-                    metrics: vec![
-                        ("avg_packet_latency".to_string(), m.avg_packet_latency),
-                        ("avg_network_latency".to_string(), m.avg_network_latency),
-                        ("network_power".to_string(), m.network_power),
-                        ("accepted_throughput".to_string(), m.accepted_throughput),
-                        ("saturated".to_string(), f64::from(u8::from(m.saturated))),
-                    ],
+                    metrics: metric_pairs(m),
                 });
             }
         }
@@ -188,6 +324,14 @@ impl FigureHarness {
     /// One-line execution report (point count, cache hits, workers, wall
     /// and busy time) for the binary to print on stderr.
     pub fn summary(&self) -> String {
+        if let Some(remote) = &self.remote {
+            let (points, hits) = *remote.stats.lock().expect("remote stats poisoned");
+            return format!(
+                "[{points} points via noc-serve at {} ({hits} daemon cache hits): wall {:.2?}]",
+                remote.socket.display(),
+                self.started.elapsed(),
+            );
+        }
         let snap = self.runner.progress().snapshot();
         format!(
             "[{} points ({} cache hits) on {} workers: wall {:.2?}, busy {:.2?}]",
@@ -215,6 +359,14 @@ impl FigureHarness {
         };
         std::fs::create_dir_all(&t.dir)?;
         let points = t.points.lock().expect("telemetry points poisoned").clone();
+        // In service mode the cache lives in the daemon; report its hits.
+        let (cache_hits, cache_misses) = match &self.remote {
+            Some(remote) => {
+                let (pts, hits) = *remote.stats.lock().expect("remote stats poisoned");
+                (hits, pts - hits)
+            }
+            None => (self.cache.hits(), self.cache.misses()),
+        };
         let manifest = RunManifest {
             figure: figure.to_string(),
             config_hash: RunManifest::combine_hashes(points.iter().map(|p| p.config_hash)),
@@ -222,8 +374,8 @@ impl FigureHarness {
             base_seed: points.first().map_or(0, |p| p.seed),
             seed_schedule: points.iter().map(|p| p.seed).collect(),
             wall_ms: self.started.elapsed().as_secs_f64() * 1e3,
-            cache_hits: self.cache.hits(),
-            cache_misses: self.cache.misses(),
+            cache_hits,
+            cache_misses,
             points,
             faults: vec![],
         };

@@ -31,6 +31,9 @@
 //! - [`runner`] — a deterministic parallel [`runner::ExperimentRunner`]
 //!   that fans independent operating points across a thread pool with
 //!   bit-identical-to-serial results,
+//! - [`service`] — the long-lived `noc-serve` sweep-evaluation service
+//!   ([`service::SweepService`]) with a crash-safe persistent result cache
+//!   ([`service::DiskResultCache`]); wire contract in `SERVICE.md`,
 //! - [`config`] — the Table 1 system configuration.
 //!
 //! [DOI 10.1145/2593069.2593165]: https://doi.org/10.1145/2593069.2593165
@@ -69,6 +72,7 @@ pub mod gating;
 pub mod llc;
 pub mod runner;
 pub mod runtime;
+pub mod service;
 pub mod sprint_topology;
 pub mod telemetry;
 
@@ -89,6 +93,10 @@ pub use runner::{
     ExperimentRunner, PointDetail, ResultCache, RunnerProgress, SyntheticBaseline, SyntheticJob,
 };
 pub use runtime::{JobRecord, SprintJob, SprintRuntime};
+pub use service::{
+    BatchSummary, CacheLoadReport, CacheRecord, DiskResultCache, ServiceControl, ServiceRequest,
+    ServiceResponse, SubmitRequest, SweepService,
+};
 pub use sprint_topology::{sprint_order, SprintSet};
 pub use telemetry::{
     progress_line, validate_chrome_trace, FaultRecord, JsonValue, ManifestPoint, RunManifest,

@@ -570,6 +570,18 @@ impl<V: Clone> ResultCache<V> {
         Ok((v, false))
     }
 
+    /// Returns a clone of the cached value for `key`, if present.
+    pub fn get(&self, key: u64) -> Option<V> {
+        self.map.lock().expect("cache poisoned").get(&key).cloned()
+    }
+
+    /// Inserts (or replaces) `key`'s value without touching the hit/miss
+    /// counters — used to preload the cache from a persistent store
+    /// ([`crate::service::DiskResultCache`]).
+    pub fn insert(&self, key: u64, value: V) {
+        self.map.lock().expect("cache poisoned").insert(key, value);
+    }
+
     /// Cache hits so far.
     pub fn hits(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)

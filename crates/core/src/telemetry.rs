@@ -579,7 +579,10 @@ pub struct ManifestPoint {
 }
 
 impl ManifestPoint {
-    fn to_json(&self) -> JsonValue {
+    /// Encodes the point as the JSON object used both in manifest files and
+    /// as the payload of service `"point"` stream events
+    /// ([`crate::service::ServiceResponse::Point`]).
+    pub fn to_json(&self) -> JsonValue {
         JsonValue::Obj(vec![
             ("type".to_string(), JsonValue::Str("point".to_string())),
             ("index".to_string(), JsonValue::Num(self.index as f64)),
@@ -599,7 +602,13 @@ impl ManifestPoint {
         ])
     }
 
-    fn from_json(v: &JsonValue) -> Result<Self, String> {
+    /// Decodes a point from the object produced by
+    /// [`ManifestPoint::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// A description of the first missing or malformed field.
+    pub fn from_json(v: &JsonValue) -> Result<Self, String> {
         let metrics = match v.get("metrics") {
             Some(JsonValue::Obj(pairs)) => pairs
                 .iter()

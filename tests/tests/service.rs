@@ -1,0 +1,250 @@
+//! Library-level integration tests for the `noc-serve` service layer:
+//! persistent-cache bit-identity across simulated daemon restarts,
+//! corruption tolerance, version invalidation, and result ordering under
+//! concurrent submissions. (The spawned-binary wire test lives in
+//! `crates/bench/tests/service_wire.rs`.)
+
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+use noc_sim::traffic::TrafficPattern;
+use noc_sprinting::runner::{ExperimentRunner, SyntheticBaseline, SyntheticJob};
+use noc_sprinting::service::{
+    code_version, metrics_from_pairs, DiskResultCache, ServiceResponse, SubmitRequest,
+    SweepService,
+};
+use noc_sprinting::telemetry::ManifestPoint;
+use noc_sprinting::Experiment;
+
+fn scratch_dir(label: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "noc-service-int-{label}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+fn jobs(count: usize) -> Vec<SyntheticJob> {
+    (0..count)
+        .map(|i| SyntheticJob {
+            level: [4, 8][i % 2],
+            pattern: [
+                TrafficPattern::UniformRandom,
+                TrafficPattern::Tornado,
+                TrafficPattern::Hotspot { hot_fraction: 0.3 },
+            ][i % 3],
+            rate: 0.02 + 0.01 * i as f64,
+            seed: 1000 + i as u64,
+            baseline: SyntheticBaseline::NocSprinting,
+        })
+        .collect()
+}
+
+fn quick_service(cache: DiskResultCache) -> SweepService {
+    SweepService::new(Experiment::quick(), ExperimentRunner::with_workers(3), cache)
+}
+
+fn collect_points(service: &SweepService, req: &SubmitRequest) -> Vec<ManifestPoint> {
+    let mut points = Vec::new();
+    service.run_submit(req, &mut |ev| {
+        if let ServiceResponse::Point { point, .. } = ev {
+            points.push(point);
+        }
+    });
+    points
+}
+
+/// The headline acceptance test: run a sweep, "restart the daemon"
+/// (drop the service, reopen the cache directory), rerun the same sweep.
+/// Every point must be a cache hit and every metric bit-identical to the
+/// fresh run.
+#[test]
+fn cache_round_trip_is_bit_identical_across_restart() {
+    let dir = scratch_dir("restart");
+    let version = code_version("quick");
+    let req = SubmitRequest {
+        id: "r1".to_string(),
+        label: "restart".to_string(),
+        jobs: jobs(6),
+    };
+    let fresh = {
+        let (cache, report) = DiskResultCache::open(&dir, &version).unwrap();
+        assert_eq!(report.loaded, 0);
+        let service = quick_service(cache);
+        let points = collect_points(&service, &req);
+        assert!(points.iter().all(|p| !p.cache_hit), "first run simulates");
+        points
+    }; // daemon "dies" here: all in-memory state is gone
+    let (cache, report) = DiskResultCache::open(&dir, &version).unwrap();
+    assert_eq!(report.loaded, req.jobs.len(), "all points reloaded from disk");
+    let service = quick_service(cache);
+    let mut replayed = Vec::new();
+    let summary = service.run_submit(&req, &mut |ev| {
+        if let ServiceResponse::Point { point, .. } = ev {
+            replayed.push(point);
+        }
+    });
+    assert_eq!(summary.cache_hits as usize, req.jobs.len(), "all hits");
+    assert_eq!(summary.cache_misses, 0);
+    for (a, b) in fresh.iter().zip(&replayed) {
+        assert_eq!(a.index, b.index);
+        assert_eq!(a.seed, b.seed);
+        assert_eq!(a.config_hash, b.config_hash);
+        assert!(!a.cache_hit && b.cache_hit);
+        // Bit-identity on every metric, via the exact bit patterns.
+        for ((name_a, va), (name_b, vb)) in a.metrics.iter().zip(&b.metrics) {
+            assert_eq!(name_a, name_b);
+            assert_eq!(va.to_bits(), vb.to_bits(), "metric {name_a} drifted");
+        }
+        // And the reconstructed metric structs agree too.
+        assert_eq!(
+            metrics_from_pairs(&a.metrics).unwrap(),
+            metrics_from_pairs(&b.metrics).unwrap()
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A truncated/corrupted tail line — the crash-mid-append case — must be
+/// skipped with a warning, keeping every intact record.
+#[test]
+fn corrupted_segment_line_is_skipped_not_fatal() {
+    let dir = scratch_dir("corrupt");
+    let version = code_version("quick");
+    let req = SubmitRequest {
+        id: "c1".to_string(),
+        label: "corrupt".to_string(),
+        jobs: jobs(3),
+    };
+    {
+        let (cache, _) = DiskResultCache::open(&dir, &version).unwrap();
+        let service = quick_service(cache);
+        collect_points(&service, &req);
+    }
+    // Mangle the directory: truncate the last record mid-line and add a
+    // segment of pure garbage.
+    let mut segs: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .collect();
+    segs.sort();
+    let seg = segs.first().expect("one segment written");
+    let text = std::fs::read_to_string(seg).unwrap();
+    let cut = text.trim_end().len() - 20;
+    std::fs::write(seg, &text[..cut]).unwrap();
+    std::fs::write(dir.join("seg-000099.cache.jsonl"), "{\"type\":\"cach").unwrap();
+    let (cache, report) = DiskResultCache::open(&dir, &version).unwrap();
+    assert_eq!(report.segments, 2);
+    assert_eq!(report.loaded, req.jobs.len() - 1, "intact records survive");
+    assert_eq!(report.corrupt, 2, "torn tail + garbage segment");
+    assert_eq!(report.warnings.len(), 2);
+    assert!(report.warnings.iter().all(|w| w.contains("corrupt")));
+    // The damaged point is simply a miss on the next run.
+    let service = quick_service(cache);
+    let points = collect_points(&service, &req);
+    assert_eq!(
+        points.iter().filter(|p| p.cache_hit).count(),
+        req.jobs.len() - 1
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Records written by a different code version are invalidated (ignored
+/// on load, recomputed, and re-persisted under the current stamp).
+#[test]
+fn version_stamp_invalidates_stale_records() {
+    let dir = scratch_dir("version");
+    let req = SubmitRequest {
+        id: "v1".to_string(),
+        label: "version".to_string(),
+        jobs: jobs(2),
+    };
+    {
+        let (cache, _) = DiskResultCache::open(&dir, "0.0.9+cache-v0+quick").unwrap();
+        let service = quick_service(cache);
+        collect_points(&service, &req);
+    }
+    let (cache, report) = DiskResultCache::open(&dir, code_version("quick")).unwrap();
+    assert_eq!(report.loaded, 0);
+    assert_eq!(report.stale, req.jobs.len());
+    let service = quick_service(cache);
+    let points = collect_points(&service, &req);
+    assert!(points.iter().all(|p| !p.cache_hit), "stale entries recompute");
+    service.cache().persist_jobs(&req.jobs).unwrap();
+    // Compaction drops the stale-version records entirely.
+    service.cache().compact().unwrap();
+    let (_, report) = DiskResultCache::open(&dir, code_version("quick")).unwrap();
+    assert_eq!(report.segments, 1);
+    assert_eq!(report.stale, 0);
+    assert_eq!(report.loaded, req.jobs.len());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Concurrent submissions from multiple client threads: each request's
+/// point stream arrives in strict index order with its own id, and both
+/// requests see bit-identical metrics for shared operating points.
+#[test]
+fn concurrent_submissions_preserve_per_request_ordering() {
+    let service = quick_service(DiskResultCache::in_memory(code_version("quick")));
+    // Overlapping job sets: half shared, half distinct per request.
+    let shared = jobs(4);
+    let reqs: Vec<SubmitRequest> = (0..3)
+        .map(|r| {
+            let mut js = shared.clone();
+            js.extend(jobs(8).into_iter().skip(4 + r));
+            SubmitRequest {
+                id: format!("conc-{r}"),
+                label: "conc".to_string(),
+                jobs: js,
+            }
+        })
+        .collect();
+    let results: Mutex<Vec<(String, Vec<ManifestPoint>)>> = Mutex::new(Vec::new());
+    std::thread::scope(|s| {
+        for req in &reqs {
+            let results = &results;
+            let service = &service;
+            s.spawn(move || {
+                let mut points = Vec::new();
+                service.run_submit(req, &mut |ev| match ev {
+                    ServiceResponse::Point { id, point } => {
+                        assert_eq!(id, req.id, "stream events echo their request id");
+                        points.push(point);
+                    }
+                    ServiceResponse::Accepted { id, .. }
+                    | ServiceResponse::Progress { id, .. }
+                    | ServiceResponse::Done { id, .. } => assert_eq!(id, req.id),
+                    other => panic!("unexpected event {other:?}"),
+                });
+                results.lock().unwrap().push((req.id.clone(), points));
+            });
+        }
+    });
+    let results = results.into_inner().unwrap();
+    assert_eq!(results.len(), reqs.len());
+    for (id, points) in &results {
+        let req = reqs.iter().find(|r| &r.id == id).unwrap();
+        assert_eq!(points.len(), req.jobs.len());
+        for (i, p) in points.iter().enumerate() {
+            assert_eq!(p.index, i, "request {id} streamed out of order");
+            assert_eq!(p.seed, req.jobs[i].seed);
+        }
+    }
+    // Shared points are identical across requests (same cache key →
+    // same bits, wherever they were computed).
+    for key_job in &shared {
+        let key = key_job.cache_key();
+        let mut bits: Option<Vec<u64>> = None;
+        for (_, points) in &results {
+            let p = points.iter().find(|p| p.config_hash == key).unwrap();
+            let these: Vec<u64> = p.metrics.iter().map(|&(_, v)| v.to_bits()).collect();
+            match &bits {
+                None => bits = Some(these),
+                Some(prev) => assert_eq!(prev, &these, "shared point diverged"),
+            }
+        }
+    }
+}
