@@ -1,0 +1,252 @@
+//! `noc-fleet` — the sharded sweep-fabric coordinator.
+//!
+//! Speaks the same JSONL contract as `noc-serve` (see `SERVICE.md`) but
+//! evaluates nothing itself: each submitted batch is fanned across a fleet
+//! of `noc-serve` daemons, hash-routing every job to the shard that owns
+//! its cache key. The merged response stream is bit-identical to a
+//! single-daemon run — `point` events in strict original order — and a
+//! shard dying mid-batch costs only its own points, which surface as
+//! `point_failed` events while the rest of the batch completes.
+//!
+//! ```text
+//! noc_fleet --shard PATH [--shard PATH ...] [--socket PATH]
+//! ```
+//!
+//! - `--shard PATH` (repeatable, at least one) — a shard daemon's Unix
+//!   socket; shard index = position on the command line. Shards must share
+//!   the experiment configuration (`--quick` vs paper) but each keeps its
+//!   own cache directory — hash routing makes those directories disjoint,
+//!   so they merge by concatenating segment files.
+//! - `--socket PATH` — listen on a Unix domain socket (one thread per
+//!   connection) instead of serving a single session on stdin/stdout.
+//!
+//! Request handling: `submit` fans out (sub-batch ids get a `#s<shard>`
+//! suffix on the shard wire); `cancel` and `shutdown` forward to every
+//! shard; `ping` answers `pong` only if every shard does.
+
+use std::io::{BufRead, Write};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use noc_bench::client::FleetClient;
+use noc_sprinting::service::{ServiceControl, ServiceRequest, ServiceResponse};
+
+struct Args {
+    shards: Vec<PathBuf>,
+    socket: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        shards: Vec::new(),
+        socket: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let path_value = |name: &str, it: &mut dyn Iterator<Item = String>| {
+            it.next()
+                .map(PathBuf::from)
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match a.as_str() {
+            "--shard" => args.shards.push(path_value("--shard", &mut it)?),
+            "--socket" => args.socket = Some(path_value("--socket", &mut it)?),
+            other => {
+                if let Some(v) = other.strip_prefix("--shard=") {
+                    args.shards.push(PathBuf::from(v));
+                } else if let Some(v) = other.strip_prefix("--socket=") {
+                    args.socket = Some(PathBuf::from(v));
+                } else {
+                    return Err(format!("unknown argument {other:?} (see SERVICE.md)"));
+                }
+            }
+        }
+    }
+    if args.shards.is_empty() {
+        return Err("at least one --shard socket is required".to_string());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("noc_fleet: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let fleet = FleetClient::new(args.shards);
+    if let Err(e) = fleet.ping() {
+        eprintln!("noc_fleet: shard ping failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("noc_fleet: {} shard(s) answering", fleet.shards());
+    let outcome = match &args.socket {
+        Some(path) => serve_socket(&fleet, path),
+        None => serve_stdio(&fleet),
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("noc_fleet: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Dispatches one request line against the fleet, mirroring
+/// `SweepService::handle_line` for the coordinator: `submit` fans out,
+/// `cancel`/`shutdown` forward to every shard, `ping` requires every
+/// shard to answer.
+fn handle_fleet_line(
+    fleet: &FleetClient,
+    line: &str,
+    emit: &mut dyn FnMut(ServiceResponse),
+) -> ServiceControl {
+    let req = match ServiceRequest::from_json_line(line) {
+        Ok(req) => req,
+        Err(e) => {
+            emit(ServiceResponse::Error {
+                id: None,
+                message: e,
+            });
+            return ServiceControl::Continue;
+        }
+    };
+    match req {
+        ServiceRequest::Ping => match fleet.ping() {
+            Ok(()) => emit(ServiceResponse::Pong),
+            Err(e) => emit(ServiceResponse::Error {
+                id: None,
+                message: format!("shard ping failed: {e}"),
+            }),
+        },
+        ServiceRequest::Cancel { id } => {
+            let active = fleet.cancel(&id);
+            emit(ServiceResponse::Cancelled { id, active });
+        }
+        ServiceRequest::Shutdown => {
+            if let Err(e) = fleet.shutdown() {
+                emit(ServiceResponse::Error {
+                    id: None,
+                    message: format!("shard shutdown failed: {e}"),
+                });
+            }
+            return ServiceControl::Shutdown;
+        }
+        ServiceRequest::Submit(req) => {
+            fleet.run_submit(&req, emit);
+        }
+    }
+    ServiceControl::Continue
+}
+
+/// One session on stdin/stdout: requests in, events out, until EOF or a
+/// `shutdown` request.
+fn serve_stdio(fleet: &FleetClient) -> std::io::Result<()> {
+    let stdin = std::io::stdin().lock();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for line in stdin.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut io_err = None;
+        let control = handle_fleet_line(fleet, &line, &mut |ev: ServiceResponse| {
+            if io_err.is_none() {
+                io_err = write_event(&mut out, &ev).err();
+            }
+        });
+        if let Some(e) = io_err {
+            return Err(e);
+        }
+        if control == ServiceControl::Shutdown {
+            break;
+        }
+    }
+    Ok(())
+}
+
+fn write_event(out: &mut impl Write, ev: &ServiceResponse) -> std::io::Result<()> {
+    out.write_all(ev.to_json_line().as_bytes())?;
+    out.write_all(b"\n")?;
+    // Flush per event: clients block on the stream mid-batch.
+    out.flush()
+}
+
+/// Unix-socket mode: accept loop, one thread per connection; a `shutdown`
+/// request from any connection stops the accept loop after forwarding to
+/// the shards.
+#[cfg(unix)]
+fn serve_socket(fleet: &FleetClient, path: &std::path::Path) -> std::io::Result<()> {
+    use std::os::unix::net::{UnixListener, UnixStream};
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    // A leftover socket file from a dead coordinator would fail the bind.
+    if path.exists() {
+        std::fs::remove_file(path)?;
+    }
+    let listener = UnixListener::bind(path)?;
+    eprintln!("noc_fleet: listening on {}", path.display());
+    let stop = AtomicBool::new(false);
+
+    fn serve_conn(
+        fleet: &FleetClient,
+        stream: UnixStream,
+        stop: &AtomicBool,
+    ) -> std::io::Result<()> {
+        let reader = std::io::BufReader::new(stream.try_clone()?);
+        let mut writer = std::io::BufWriter::new(stream);
+        for line in reader.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let mut io_err = None;
+            let control = handle_fleet_line(fleet, &line, &mut |ev: ServiceResponse| {
+                if io_err.is_none() {
+                    io_err = write_event(&mut writer, &ev).err();
+                }
+            });
+            if let Some(e) = io_err {
+                return Err(e);
+            }
+            if control == ServiceControl::Shutdown {
+                stop.store(true, Ordering::SeqCst);
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    std::thread::scope(|s| {
+        for stream in listener.incoming() {
+            if stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = stream?;
+            s.spawn(|| {
+                if let Err(e) = serve_conn(fleet, stream, &stop) {
+                    eprintln!("noc_fleet: connection error: {e}");
+                }
+                // Unblock the accept loop so a shutdown takes effect
+                // promptly: a self-connection makes `incoming` yield.
+                if stop.load(Ordering::SeqCst) {
+                    let _ = UnixStream::connect(path);
+                }
+            });
+        }
+        Ok(())
+    })
+}
+
+/// Unix-socket mode is unavailable on this platform.
+#[cfg(not(unix))]
+fn serve_socket(_fleet: &FleetClient, _path: &std::path::Path) -> std::io::Result<()> {
+    Err(std::io::Error::new(
+        std::io::ErrorKind::Unsupported,
+        "--socket requires a Unix platform; use stdin/stdout mode",
+    ))
+}

@@ -6,8 +6,8 @@
 //! already-simulated points bit-identically.
 //!
 //! ```text
-//! noc_serve [--cache DIR] [--socket PATH] [--workers N] [--quick]
-//!           [--compact] [--print-schema]
+//! noc_serve [--cache DIR] [--socket PATH] [--workers N] [--queue-limit N]
+//!           [--quick] [--compact] [--print-schema]
 //! ```
 //!
 //! - `--cache DIR` — persist results under `DIR` as append-only
@@ -17,6 +17,9 @@
 //!   connection) instead of serving a single session on stdin/stdout.
 //! - `--workers N` — runner thread count (default: hardware threads;
 //!   results are bit-identical at any value).
+//! - `--queue-limit N` — backpressure: reject a submit with a `busy` event
+//!   when admitting it would push the pending-point count past `N`
+//!   (request `priority` shifts the effective limit; default: unlimited).
 //! - `--quick` — serve the reduced `Experiment::quick()` configuration
 //!   instead of the paper's (separate cache version stamps keep the two
 //!   from mixing).
@@ -40,9 +43,22 @@ struct Args {
     cache: Option<PathBuf>,
     socket: Option<PathBuf>,
     workers: Option<usize>,
+    queue_limit: Option<usize>,
     quick: bool,
     compact: bool,
     print_schema: bool,
+}
+
+/// Parses a flag value as a positive integer, naming the flag *and the
+/// offending value* in the error — a silent fallback here once masked
+/// typos like `--workers 8x` as "use the default".
+fn positive(name: &str, value: Option<String>) -> Result<usize, String> {
+    let value = value.ok_or_else(|| format!("{name} requires a positive integer"))?;
+    value
+        .parse::<usize>()
+        .ok()
+        .filter(|&w| w > 0)
+        .ok_or_else(|| format!("{name} requires a positive integer, got {value:?}"))
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -50,6 +66,7 @@ fn parse_args() -> Result<Args, String> {
         cache: None,
         socket: None,
         workers: None,
+        queue_limit: None,
         quick: false,
         compact: false,
         print_schema: false,
@@ -64,14 +81,8 @@ fn parse_args() -> Result<Args, String> {
         match a.as_str() {
             "--cache" => args.cache = Some(path_value("--cache", &mut it)?),
             "--socket" => args.socket = Some(path_value("--socket", &mut it)?),
-            "--workers" => {
-                args.workers = Some(
-                    it.next()
-                        .and_then(|v| v.parse().ok())
-                        .filter(|&w| w > 0)
-                        .ok_or("--workers requires a positive integer")?,
-                )
-            }
+            "--workers" => args.workers = Some(positive("--workers", it.next())?),
+            "--queue-limit" => args.queue_limit = Some(positive("--queue-limit", it.next())?),
             "--quick" => args.quick = true,
             "--compact" => args.compact = true,
             "--print-schema" => args.print_schema = true,
@@ -81,12 +92,9 @@ fn parse_args() -> Result<Args, String> {
                 } else if let Some(v) = other.strip_prefix("--socket=") {
                     args.socket = Some(PathBuf::from(v));
                 } else if let Some(v) = other.strip_prefix("--workers=") {
-                    args.workers = Some(
-                        v.parse()
-                            .ok()
-                            .filter(|&w| w > 0)
-                            .ok_or("--workers requires a positive integer")?,
-                    );
+                    args.workers = Some(positive("--workers", Some(v.to_string()))?);
+                } else if let Some(v) = other.strip_prefix("--queue-limit=") {
+                    args.queue_limit = Some(positive("--queue-limit", Some(v.to_string()))?);
                 } else {
                     return Err(format!("unknown argument {other:?} (see SERVICE.md)"));
                 }
@@ -153,7 +161,10 @@ fn main() -> ExitCode {
         Some(w) => ExperimentRunner::with_workers(w),
         None => ExperimentRunner::new(),
     };
-    let service = SweepService::new(experiment, runner, cache);
+    let mut service = SweepService::new(experiment, runner, cache);
+    if let Some(limit) = args.queue_limit {
+        service = service.with_queue_limit(limit);
+    }
     let outcome = match &args.socket {
         Some(path) => serve_socket(&service, path),
         None => serve_stdio(&service),

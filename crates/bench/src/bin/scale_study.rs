@@ -46,11 +46,14 @@ fn main() {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--mesh" => {
-                let v = args.next().and_then(|v| v.parse().ok());
-                mesh = match v {
-                    Some(m @ (8 | 16)) => m,
+                let raw = args.next();
+                mesh = match raw.as_deref().map(str::parse) {
+                    Some(Ok(m @ (8 | 16))) => m,
                     _ => {
-                        eprintln!("--mesh must be 8 or 16");
+                        eprintln!(
+                            "--mesh must be 8 or 16, got {}",
+                            raw.as_deref().map_or("nothing".to_string(), |v| format!("{v:?}"))
+                        );
                         std::process::exit(2);
                     }
                 };

@@ -24,13 +24,42 @@ use noc_sprinting::service::metric_pairs;
 use noc_sprinting::telemetry::{ManifestPoint, RunManifest, SpanRecorder};
 
 /// Worker-count override for the figure binaries: `NOC_BENCH_WORKERS=1`
-/// forces the serial path (useful for timing comparisons), unset or invalid
-/// means one worker per hardware thread.
+/// forces the serial path (useful for timing comparisons), unset means
+/// one worker per hardware thread.
+///
+/// A set-but-invalid value is a **hard usage error**, never a silent
+/// fall-through to the default — `NOC_BENCH_WORKERS=8x` once quietly ran
+/// a "serial timing baseline" on every hardware thread. Binaries exit
+/// with status 2 on the error.
 pub fn workers_from_env() -> Option<usize> {
-    std::env::var("NOC_BENCH_WORKERS")
+    match try_workers_from_env() {
+        Ok(workers) => workers,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// The fallible form of [`workers_from_env`], for callers that want to
+/// report the usage error themselves.
+///
+/// # Errors
+///
+/// A set-but-invalid `NOC_BENCH_WORKERS` value (not a positive integer),
+/// named in the message.
+pub fn try_workers_from_env() -> Result<Option<usize>, String> {
+    let Some(value) = std::env::var_os("NOC_BENCH_WORKERS") else {
+        return Ok(None);
+    };
+    let text = value.to_string_lossy();
+    text.parse::<usize>()
         .ok()
-        .and_then(|v| v.parse::<usize>().ok())
         .filter(|&w| w > 0)
+        .map(Some)
+        .ok_or_else(|| {
+            format!("NOC_BENCH_WORKERS must be a positive integer, got {text:?}")
+        })
 }
 
 /// Telemetry output directory for the figure binaries: the
@@ -484,5 +513,29 @@ mod tests {
     #[should_panic(expected = "row width")]
     fn mismatched_row_panics() {
         let _ = markdown_table(&["a"], &[vec!["1".into(), "2".into()]]);
+    }
+
+    /// Regression: an invalid `NOC_BENCH_WORKERS` was once a silent
+    /// fall-through to the hardware-thread default; it must be a usage
+    /// error that names the bad value. (Serialized via a lock because env
+    /// vars are process-global and tests run in parallel.)
+    #[test]
+    fn workers_env_is_a_hard_error_when_invalid() {
+        static ENV_LOCK: Mutex<()> = Mutex::new(());
+        let _guard = ENV_LOCK.lock().unwrap();
+        let restore = std::env::var_os("NOC_BENCH_WORKERS");
+        std::env::set_var("NOC_BENCH_WORKERS", "8x");
+        let err = try_workers_from_env().unwrap_err();
+        assert!(err.contains("\"8x\""), "error must name the value: {err}");
+        std::env::set_var("NOC_BENCH_WORKERS", "0");
+        assert!(try_workers_from_env().is_err(), "zero workers is invalid");
+        std::env::set_var("NOC_BENCH_WORKERS", "3");
+        assert_eq!(try_workers_from_env(), Ok(Some(3)));
+        std::env::remove_var("NOC_BENCH_WORKERS");
+        assert_eq!(try_workers_from_env(), Ok(None));
+        match restore {
+            Some(v) => std::env::set_var("NOC_BENCH_WORKERS", v),
+            None => std::env::remove_var("NOC_BENCH_WORKERS"),
+        }
     }
 }

@@ -170,6 +170,7 @@ fn malformed_and_failing_requests_keep_the_daemon_alive() {
             ServiceResponse::Pong => saw_pong = true,
             ServiceResponse::Done { summary, .. } => done = Some(summary),
             ServiceResponse::Accepted { .. } | ServiceResponse::Progress { .. } => {}
+            other => panic!("unexpected event: {other:?}"),
         }
     }
     assert!(child.wait().expect("daemon exits").success());

@@ -34,6 +34,8 @@
 //! - [`service`] — the long-lived `noc-serve` sweep-evaluation service
 //!   ([`service::SweepService`]) with a crash-safe persistent result cache
 //!   ([`service::DiskResultCache`]); wire contract in `SERVICE.md`,
+//! - [`fleet`] — the sharded sweep fabric: hash routing, per-shard prefix
+//!   merge and summary merging behind the `noc-fleet` coordinator,
 //! - [`config`] — the Table 1 system configuration.
 //!
 //! [DOI 10.1145/2593069.2593165]: https://doi.org/10.1145/2593069.2593165
@@ -67,6 +69,7 @@ pub mod config;
 pub mod controller;
 pub mod convex;
 pub mod experiment;
+pub mod fleet;
 pub mod floorplan;
 pub mod gating;
 pub mod llc;
@@ -86,6 +89,7 @@ pub use controller::{
 };
 pub use convex::is_convex;
 pub use experiment::{Experiment, NetworkMetrics, ThermalVariant};
+pub use fleet::{merge_summaries, shard_of, sub_batch_id, FleetReorder, ShardPlan};
 pub use floorplan::Floorplan;
 pub use gating::GatingPlan;
 pub use llc::LlcAgent;

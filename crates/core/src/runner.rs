@@ -39,6 +39,18 @@ use noc_sim::traffic::{Placement, TrafficPattern};
 use crate::experiment::{Experiment, NetworkMetrics};
 use crate::telemetry::{progress_line, RunnerEvent, SpanRecorder};
 
+/// Locks a mutex, recovering the guard if a previous holder panicked.
+///
+/// Every mutex this crate shares across worker threads protects state that
+/// is consistent at each write boundary (memo-table inserts, append-only
+/// disk bookkeeping, channel handles), so a panic while holding the lock
+/// cannot leave a torn value behind. Recovering the guard therefore turns
+/// "one worker panicked" into a contained failure instead of poisoning the
+/// lock and taking the whole daemon down on the *next* access.
+pub(crate) fn lock_recover<T: ?Sized>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 /// Live counters for an in-flight (or finished) batch of experiment points.
 ///
 /// Shared by cloning the [`Arc`] out of [`ExperimentRunner::progress`];
@@ -81,10 +93,24 @@ impl RunnerProgress {
         }
     }
 
-    /// Mean busy time per completed point, if any completed.
-    pub fn mean_point_time(&self) -> Option<Duration> {
+    /// Mean busy time per completed point in nanoseconds, if any completed.
+    ///
+    /// Reported as a float: the integer-division form (`busy / completed`)
+    /// silently truncated sub-unit averages toward zero (and the `as u32`
+    /// cast it required would wrap beyond 2^32 points), so averages are now
+    /// computed in `f64` nanoseconds and never lose the fractional part.
+    pub fn mean_point_nanos(&self) -> Option<f64> {
         let s = self.snapshot();
-        (s.completed > 0).then(|| s.busy / s.completed as u32)
+        (s.completed > 0).then(|| s.busy.as_nanos() as f64 / s.completed as f64)
+    }
+
+    /// Mean busy time per completed point, if any completed.
+    ///
+    /// Convenience wrapper over [`RunnerProgress::mean_point_nanos`];
+    /// sub-nanosecond precision is rounded into the returned [`Duration`].
+    pub fn mean_point_time(&self) -> Option<Duration> {
+        self.mean_point_nanos()
+            .map(|ns| Duration::from_secs_f64(ns / 1e9))
     }
 }
 
@@ -557,29 +583,26 @@ impl<V: Clone> ResultCache<V> {
         key: u64,
         compute: impl FnOnce() -> Result<V, E>,
     ) -> Result<(V, bool), E> {
-        if let Some(v) = self.map.lock().expect("cache poisoned").get(&key) {
+        if let Some(v) = lock_recover(&self.map).get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok((v.clone(), true));
         }
         let v = compute()?;
         self.misses.fetch_add(1, Ordering::Relaxed);
-        self.map
-            .lock()
-            .expect("cache poisoned")
-            .insert(key, v.clone());
+        lock_recover(&self.map).insert(key, v.clone());
         Ok((v, false))
     }
 
     /// Returns a clone of the cached value for `key`, if present.
     pub fn get(&self, key: u64) -> Option<V> {
-        self.map.lock().expect("cache poisoned").get(&key).cloned()
+        lock_recover(&self.map).get(&key).cloned()
     }
 
     /// Inserts (or replaces) `key`'s value without touching the hit/miss
     /// counters — used to preload the cache from a persistent store
     /// ([`crate::service::DiskResultCache`]).
     pub fn insert(&self, key: u64, value: V) {
-        self.map.lock().expect("cache poisoned").insert(key, value);
+        lock_recover(&self.map).insert(key, value);
     }
 
     /// Cache hits so far.
@@ -594,7 +617,7 @@ impl<V: Clone> ResultCache<V> {
 
     /// Number of cached entries.
     pub fn len(&self) -> usize {
-        self.map.lock().expect("cache poisoned").len()
+        lock_recover(&self.map).len()
     }
 
     /// Whether the cache is empty.
@@ -649,6 +672,49 @@ mod tests {
         assert_eq!(snap.scheduled, 17);
         assert_eq!(snap.completed, 17);
         assert!(runner.progress().mean_point_time().is_some());
+    }
+
+    #[test]
+    fn mean_point_nanos_keeps_fractional_part() {
+        // Regression: the old integer-division mean (busy / completed)
+        // truncated the sub-unit remainder. The float mean must not.
+        let progress = RunnerProgress::default();
+        progress.begin(2);
+        progress.record(Duration::from_nanos(1));
+        progress.record(Duration::from_nanos(2));
+        assert_eq!(progress.mean_point_nanos(), Some(1.5));
+        // At a coarser scale the Duration form keeps the remainder too:
+        // 1ms + 2ms over 2 points is 1.5ms, not a truncated 1ms.
+        let progress = RunnerProgress::default();
+        progress.begin(2);
+        progress.record(Duration::from_millis(1));
+        progress.record(Duration::from_millis(2));
+        assert_eq!(progress.mean_point_nanos(), Some(1_500_000.0));
+        let mean = progress.mean_point_time().unwrap();
+        assert!(mean > Duration::from_millis(1), "truncated mean resurfaced");
+        assert_eq!(mean, Duration::from_micros(1500));
+    }
+
+    #[test]
+    fn mean_point_nanos_empty_is_none() {
+        let progress = RunnerProgress::default();
+        assert_eq!(progress.mean_point_nanos(), None);
+        assert_eq!(progress.mean_point_time(), None);
+    }
+
+    #[test]
+    fn lock_recover_survives_poisoned_mutex() {
+        let m = Arc::new(Mutex::new(7u32));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.lock().unwrap();
+            panic!("poison the lock");
+        })
+        .join();
+        assert!(m.is_poisoned());
+        assert_eq!(*lock_recover(&m), 7, "guard recovered with intact state");
+        *lock_recover(&m) = 8;
+        assert_eq!(*lock_recover(&m), 8);
     }
 
     #[test]

@@ -39,14 +39,15 @@ use std::fmt::Write as _;
 use std::fs;
 use std::io::{self, Write as _};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use noc_sim::traffic::TrafficPattern;
 
 use crate::experiment::{Experiment, NetworkMetrics};
-use crate::runner::{ExperimentRunner, ResultCache, SyntheticBaseline, SyntheticJob};
+use crate::runner::{lock_recover, ExperimentRunner, ResultCache, SyntheticBaseline, SyntheticJob};
 use crate::telemetry::{JsonValue, ManifestPoint, RunManifest};
 
 // ---------------------------------------------------------------------------
@@ -314,6 +315,10 @@ pub struct SubmitRequest {
     /// Human-readable batch label (e.g. the figure name); defaults to
     /// `"service"` when absent on the wire.
     pub label: String,
+    /// Admission priority against the daemon's queue limit (wire default 0):
+    /// positive batches bypass the limit, zero batches get the full limit,
+    /// negative batches only half of it. Irrelevant without a limit.
+    pub priority: i64,
     /// The operating points to evaluate, in result order.
     pub jobs: Vec<SyntheticJob>,
 }
@@ -323,6 +328,12 @@ pub struct SubmitRequest {
 pub enum ServiceRequest {
     /// Evaluate a batch of operating points.
     Submit(SubmitRequest),
+    /// Cancel an in-flight batch by request id. Unknown ids *arm* the
+    /// cancellation, so a cancel racing ahead of its submit still lands.
+    Cancel {
+        /// The target request id.
+        id: String,
+    },
     /// Liveness probe; answered with `pong`.
     Ping,
     /// Ask the daemon to exit cleanly.
@@ -337,10 +348,16 @@ impl ServiceRequest {
                 ("type".to_string(), JsonValue::Str("submit".to_string())),
                 ("id".to_string(), JsonValue::Str(req.id.clone())),
                 ("label".to_string(), JsonValue::Str(req.label.clone())),
+                ("priority".to_string(), JsonValue::Num(req.priority as f64)),
                 (
                     "jobs".to_string(),
                     JsonValue::Arr(req.jobs.iter().map(job_to_json).collect()),
                 ),
+            ])
+            .to_json(),
+            ServiceRequest::Cancel { id } => JsonValue::Obj(vec![
+                ("type".to_string(), JsonValue::Str("cancel".to_string())),
+                ("id".to_string(), JsonValue::Str(id.clone())),
             ])
             .to_json(),
             ServiceRequest::Ping => {
@@ -374,6 +391,14 @@ impl ServiceRequest {
                     .and_then(JsonValue::as_str)
                     .unwrap_or("service")
                     .to_string();
+                let priority = match v.get("priority") {
+                    None => 0,
+                    Some(p) => p
+                        .as_f64()
+                        .filter(|p| p.fract() == 0.0)
+                        .map(|p| p as i64)
+                        .ok_or("submit priority must be an integer")?,
+                };
                 let jobs = v
                     .get("jobs")
                     .and_then(JsonValue::as_array)
@@ -381,8 +406,20 @@ impl ServiceRequest {
                     .iter()
                     .map(job_from_json)
                     .collect::<Result<Vec<_>, _>>()?;
-                Ok(ServiceRequest::Submit(SubmitRequest { id, label, jobs }))
+                Ok(ServiceRequest::Submit(SubmitRequest {
+                    id,
+                    label,
+                    priority,
+                    jobs,
+                }))
             }
+            Some("cancel") => Ok(ServiceRequest::Cancel {
+                id: v
+                    .get("id")
+                    .and_then(JsonValue::as_str)
+                    .ok_or("cancel missing id")?
+                    .to_string(),
+            }),
             Some("ping") => Ok(ServiceRequest::Ping),
             Some("shutdown") => Ok(ServiceRequest::Shutdown),
             other => Err(format!("unknown request type {other:?}")),
@@ -403,6 +440,9 @@ pub struct BatchSummary {
     pub ok: usize,
     /// Points that failed (one `point_failed` event each).
     pub failed: usize,
+    /// Points skipped because the batch was cancelled (surfaced as
+    /// `point_failed` events with error `"cancelled"`).
+    pub cancelled: usize,
     /// Points served from the result cache.
     pub cache_hits: u64,
     /// Points that were freshly simulated.
@@ -460,6 +500,26 @@ pub enum ServiceResponse {
         id: String,
         /// End-of-batch accounting.
         summary: BatchSummary,
+    },
+    /// The batch was rejected by backpressure: admitting it would push the
+    /// daemon's pending-point count past the request's effective queue
+    /// limit. No `accepted`/`done` follows — resubmit later (or with a
+    /// higher priority).
+    Busy {
+        /// Echo of the request id.
+        id: String,
+        /// Points already pending when the batch was rejected.
+        pending: usize,
+        /// The effective limit the batch was admitted against.
+        limit: usize,
+    },
+    /// Answer to `cancel`.
+    Cancelled {
+        /// Echo of the cancel target id.
+        id: String,
+        /// Whether a batch with that id was in flight (`false` means the
+        /// cancellation was merely armed for a future submit).
+        active: bool,
     },
     /// Answer to `ping`.
     Pong,
@@ -528,6 +588,10 @@ impl ServiceResponse {
                 ("ok".to_string(), JsonValue::Num(summary.ok as f64)),
                 ("failed".to_string(), JsonValue::Num(summary.failed as f64)),
                 (
+                    "cancelled".to_string(),
+                    JsonValue::Num(summary.cancelled as f64),
+                ),
+                (
                     "cache_hits".to_string(),
                     JsonValue::Num(summary.cache_hits as f64),
                 ),
@@ -540,6 +604,19 @@ impl ServiceResponse {
                     JsonValue::hex(summary.config_hash),
                 ),
                 ("wall_ms".to_string(), JsonValue::Num(summary.wall_ms)),
+            ])
+            .to_json(),
+            ServiceResponse::Busy { id, pending, limit } => JsonValue::Obj(vec![
+                ("type".to_string(), JsonValue::Str("busy".to_string())),
+                ("id".to_string(), JsonValue::Str(id.clone())),
+                ("pending".to_string(), JsonValue::Num(*pending as f64)),
+                ("limit".to_string(), JsonValue::Num(*limit as f64)),
+            ])
+            .to_json(),
+            ServiceResponse::Cancelled { id, active } => JsonValue::Obj(vec![
+                ("type".to_string(), JsonValue::Str("cancelled".to_string())),
+                ("id".to_string(), JsonValue::Str(id.clone())),
+                ("active".to_string(), JsonValue::Bool(*active)),
             ])
             .to_json(),
             ServiceResponse::Pong => {
@@ -616,6 +693,7 @@ impl ServiceResponse {
                     points: num("points")?,
                     ok: num("ok")?,
                     failed: num("failed")?,
+                    cancelled: num("cancelled")?,
                     cache_hits: num("cache_hits")? as u64,
                     cache_misses: num("cache_misses")? as u64,
                     config_hash: v
@@ -627,6 +705,18 @@ impl ServiceResponse {
                         .and_then(JsonValue::as_f64)
                         .ok_or("done missing wall_ms")?,
                 },
+            }),
+            Some("busy") => Ok(ServiceResponse::Busy {
+                id: id()?,
+                pending: num("pending")?,
+                limit: num("limit")?,
+            }),
+            Some("cancelled") => Ok(ServiceResponse::Cancelled {
+                id: id()?,
+                active: v
+                    .get("active")
+                    .and_then(JsonValue::as_bool)
+                    .ok_or("cancelled missing active")?,
             }),
             Some("pong") => Ok(ServiceResponse::Pong),
             Some("error") => Ok(ServiceResponse::Error {
@@ -858,13 +948,13 @@ impl DiskResultCache {
     pub fn dir(&self) -> Option<PathBuf> {
         self.disk
             .as_ref()
-            .map(|d| d.lock().expect("cache disk state poisoned").dir.clone())
+            .map(|d| lock_recover(d).dir.clone())
     }
 
     /// Number of keys durably recorded on disk (current version).
     pub fn persisted_len(&self) -> usize {
         self.disk.as_ref().map_or(0, |d| {
-            d.lock().expect("cache disk state poisoned").persisted.len()
+            lock_recover(d).persisted.len()
         })
     }
 
@@ -880,7 +970,7 @@ impl DiskResultCache {
         let Some(disk) = &self.disk else {
             return Ok(0);
         };
-        let mut state = disk.lock().expect("cache disk state poisoned");
+        let mut state = lock_recover(disk);
         let mut written = 0usize;
         for job in jobs {
             let key = job.cache_key();
@@ -931,7 +1021,7 @@ impl DiskResultCache {
         let Some(disk) = &self.disk else {
             return Ok(0);
         };
-        let mut state = disk.lock().expect("cache disk state poisoned");
+        let mut state = lock_recover(disk);
         // Close (and flush) the open append segment first.
         if let Some(mut seg) = state.open_segment.take() {
             seg.flush()?;
@@ -971,6 +1061,26 @@ impl DiskResultCache {
         }
         Ok(live.len())
     }
+
+    /// Poisons the disk-state mutex by panicking a thread while it holds
+    /// the lock — a no-op for in-memory caches. Test-only hook for proving
+    /// the service keeps serving after a worker panic; the daemon itself
+    /// recovers the guard on every access, so a poisoned lock is harmless.
+    #[doc(hidden)]
+    pub fn poison_for_test(&self) {
+        let Some(disk) = &self.disk else {
+            return;
+        };
+        let result = std::thread::scope(|s| {
+            s.spawn(|| {
+                let _guard = disk.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                panic!("deliberately poisoning the cache disk state");
+            })
+            .join()
+        });
+        assert!(result.is_err(), "poisoning thread must panic");
+        assert!(disk.is_poisoned(), "mutex should now be poisoned");
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -986,9 +1096,28 @@ pub enum ServiceControl {
     Shutdown,
 }
 
-/// `(metrics-or-error with cache-hit flag, worker wall ms)` for one
+/// Why a point produced no metrics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum PointFailure {
+    /// The simulator reported an error.
+    Failed(String),
+    /// The batch was cancelled before this point ran.
+    Cancelled,
+}
+
+/// `(metrics-or-failure with cache-hit flag, worker wall ms)` for one
 /// completed point, in flight between workers and the ordering collector.
-type PointOutcome = (Result<(NetworkMetrics, bool), String>, f64);
+type PointOutcome = (Result<(NetworkMetrics, bool), PointFailure>, f64);
+
+/// Cancellation state for one request id.
+#[derive(Debug, Default)]
+struct CancelEntry {
+    /// Checked by workers before each point; set by `cancel`.
+    flag: Arc<AtomicBool>,
+    /// Whether a batch with this id is currently running (as opposed to an
+    /// armed pre-cancel waiting for its submit).
+    active: bool,
+}
 
 /// The long-lived evaluation service: one [`Experiment`] configuration, a
 /// deterministic parallel [`ExperimentRunner`] and a [`DiskResultCache`].
@@ -1003,6 +1132,13 @@ pub struct SweepService {
     experiment: Experiment,
     runner: ExperimentRunner,
     cache: DiskResultCache,
+    /// Backpressure bound: maximum pending (admitted, not yet completed)
+    /// points across all in-flight batches. `None` = unbounded.
+    queue_limit: Option<usize>,
+    /// Points admitted and not yet completed, across all batches.
+    pending: AtomicUsize,
+    /// Per-request cancellation flags (including armed pre-cancels).
+    cancels: Mutex<HashMap<String, CancelEntry>>,
 }
 
 impl SweepService {
@@ -1014,7 +1150,43 @@ impl SweepService {
             experiment,
             runner,
             cache,
+            queue_limit: None,
+            pending: AtomicUsize::new(0),
+            cancels: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// Bounds the pending-point queue: a `submit` whose jobs would push the
+    /// pending count past its effective limit is rejected with a `busy`
+    /// event instead of queuing unboundedly. The effective limit depends on
+    /// the request's priority — `limit` at priority 0, `limit / 2` below,
+    /// unbounded above.
+    #[must_use]
+    pub fn with_queue_limit(mut self, limit: usize) -> Self {
+        self.queue_limit = Some(limit);
+        self
+    }
+
+    /// The configured queue limit, if any.
+    pub fn queue_limit(&self) -> Option<usize> {
+        self.queue_limit
+    }
+
+    /// Points admitted but not yet completed, across all in-flight batches.
+    pub fn pending_points(&self) -> usize {
+        self.pending.load(Ordering::SeqCst)
+    }
+
+    /// Cancels the batch with request id `id`: its not-yet-started points
+    /// are skipped and surface as `point_failed` events with error
+    /// `"cancelled"`. Returns whether a batch with that id was in flight;
+    /// if not, the cancellation is *armed* and a later submit with that id
+    /// is cancelled from the start.
+    pub fn cancel(&self, id: &str) -> bool {
+        let mut cancels = lock_recover(&self.cancels);
+        let entry = cancels.entry(id.to_string()).or_default();
+        entry.flag.store(true, Ordering::SeqCst);
+        entry.active
     }
 
     /// The experiment configuration every job is evaluated against.
@@ -1047,6 +1219,11 @@ impl SweepService {
                 ServiceControl::Continue
             }
             Ok(ServiceRequest::Shutdown) => ServiceControl::Shutdown,
+            Ok(ServiceRequest::Cancel { id }) => {
+                let active = self.cancel(&id);
+                emit(ServiceResponse::Cancelled { id, active });
+                ServiceControl::Continue
+            }
             Ok(ServiceRequest::Submit(req)) => {
                 self.run_submit(&req, emit);
                 ServiceControl::Continue
@@ -1054,27 +1231,69 @@ impl SweepService {
         }
     }
 
+    /// The admission bound for a request of the given priority, or `None`
+    /// for unbounded (no queue limit configured, or positive priority).
+    fn effective_limit(&self, priority: i64) -> Option<usize> {
+        let limit = self.queue_limit?;
+        match priority {
+            p if p > 0 => None,
+            0 => Some(limit),
+            _ => Some(limit / 2),
+        }
+    }
+
+    /// Registers (or re-arms) the cancel entry for a starting batch and
+    /// returns its shared flag.
+    fn register_batch(&self, id: &str) -> Arc<AtomicBool> {
+        let mut cancels = lock_recover(&self.cancels);
+        let entry = cancels.entry(id.to_string()).or_default();
+        entry.active = true;
+        Arc::clone(&entry.flag)
+    }
+
     /// Evaluates one batch, streaming `accepted`, `progress`,
     /// `point`/`point_failed` (strict index order) and a final `done`
-    /// event into `emit`; returns the batch summary.
+    /// event into `emit`; returns the batch summary — or `None` when the
+    /// batch was rejected by backpressure (a single `busy` event is
+    /// emitted and nothing else).
     ///
     /// Per-point failures do not abort the batch — every job is attempted
-    /// and failures surface as `point_failed` events.
+    /// and failures surface as `point_failed` events. A cancellation
+    /// ([`SweepService::cancel`]) skips the not-yet-started points, which
+    /// surface as `point_failed` with error `"cancelled"`; already-computed
+    /// points still stream normally.
     pub fn run_submit(
         &self,
         req: &SubmitRequest,
         emit: &mut dyn FnMut(ServiceResponse),
-    ) -> BatchSummary {
+    ) -> Option<BatchSummary> {
         let total = req.jobs.len();
+        if let Some(limit) = self.effective_limit(req.priority) {
+            let admit = self.pending.fetch_update(Ordering::SeqCst, Ordering::SeqCst, |p| {
+                (p + total <= limit).then_some(p + total)
+            });
+            if let Err(pending) = admit {
+                emit(ServiceResponse::Busy {
+                    id: req.id.clone(),
+                    pending,
+                    limit,
+                });
+                return None;
+            }
+        } else {
+            self.pending.fetch_add(total, Ordering::SeqCst);
+        }
+        let cancel = self.register_batch(&req.id);
         emit(ServiceResponse::Accepted {
             id: req.id.clone(),
             points: total,
         });
         let started = Instant::now();
         let (tx, rx) = mpsc::channel::<(usize, PointOutcome)>();
-        let (mut ok, mut failed, mut hits) = (0usize, 0usize, 0u64);
+        let (mut ok, mut failed, mut cancelled, mut hits) = (0usize, 0usize, 0usize, 0u64);
         std::thread::scope(|s| {
             let jobs = &req.jobs;
+            let cancel = &cancel;
             s.spawn(move || {
                 // `Sender` is not `Sync`, so the worker closure reaches it
                 // through a mutex; dropping it here (when the runner is
@@ -1082,16 +1301,18 @@ impl SweepService {
                 let tx = Mutex::new(tx);
                 self.runner.run(jobs, |i, job| {
                     let point_start = Instant::now();
-                    let outcome = self
-                        .cache
-                        .memory()
-                        .get_or_try_insert_with_stats(job.cache_key(), || {
-                            job.run(&self.experiment)
-                        })
-                        .map_err(|e| e.to_string());
+                    let outcome = if cancel.load(Ordering::SeqCst) {
+                        Err(PointFailure::Cancelled)
+                    } else {
+                        self.cache
+                            .memory()
+                            .get_or_try_insert_with_stats(job.cache_key(), || {
+                                job.run(&self.experiment)
+                            })
+                            .map_err(|e| PointFailure::Failed(e.to_string()))
+                    };
                     let ms = point_start.elapsed().as_secs_f64() * 1e3;
-                    tx.lock()
-                        .expect("sender mutex poisoned")
+                    lock_recover(&tx)
                         .send((i, (outcome, ms)))
                         .expect("collector alive while workers run");
                 });
@@ -1101,6 +1322,7 @@ impl SweepService {
             let mut pending: BTreeMap<usize, PointOutcome> = BTreeMap::new();
             let mut next = 0usize;
             for (completed, (i, outcome)) in rx.iter().enumerate() {
+                self.pending.fetch_sub(1, Ordering::SeqCst);
                 emit(ServiceResponse::Progress {
                     id: req.id.clone(),
                     completed: completed + 1,
@@ -1125,8 +1347,17 @@ impl SweepService {
                                 },
                             });
                         }
-                        Err(error) => {
-                            failed += 1;
+                        Err(failure) => {
+                            let error = match failure {
+                                PointFailure::Failed(e) => {
+                                    failed += 1;
+                                    e
+                                }
+                                PointFailure::Cancelled => {
+                                    cancelled += 1;
+                                    "cancelled".to_string()
+                                }
+                            };
                             emit(ServiceResponse::PointFailed {
                                 id: req.id.clone(),
                                 index: next,
@@ -1140,6 +1371,7 @@ impl SweepService {
                 }
             }
         });
+        lock_recover(&self.cancels).remove(&req.id);
         if let Err(e) = self.cache.persist_jobs(&req.jobs) {
             emit(ServiceResponse::Error {
                 id: Some(req.id.clone()),
@@ -1150,6 +1382,7 @@ impl SweepService {
             points: total,
             ok,
             failed,
+            cancelled,
             cache_hits: hits,
             cache_misses: ok as u64 - hits,
             config_hash: RunManifest::combine_hashes(req.jobs.iter().map(SyntheticJob::cache_key)),
@@ -1159,7 +1392,7 @@ impl SweepService {
             id: req.id.clone(),
             summary: summary.clone(),
         });
-        summary
+        Some(summary)
     }
 }
 
@@ -1170,10 +1403,18 @@ impl SweepService {
 /// `(field, type, meaning)` rows of one wire object.
 type FieldTable = &'static [(&'static str, &'static str, &'static str)];
 
+const REQUEST_FIELDS: FieldTable = &[
+    ("submit", "id, label?, priority?, jobs", "evaluate a batch of operating points (fields below)"),
+    ("cancel", "id", "cancel the in-flight batch with that id; an unknown id arms the cancel for a later submit"),
+    ("ping", "—", "liveness probe; answered with `pong`"),
+    ("shutdown", "—", "ask the daemon to exit cleanly"),
+];
+
 const SUBMIT_FIELDS: FieldTable = &[
     ("type", "string", "`\"submit\"`"),
     ("id", "string", "client-chosen request identifier, echoed on every response event"),
     ("label", "string", "optional batch label (defaults to `\"service\"`)"),
+    ("priority", "number", "optional integer admission priority (default 0): > 0 bypasses the queue limit, 0 admits against the full limit, < 0 against half of it"),
     ("jobs", "array", "operating points to evaluate, in result order (job objects below)"),
 ];
 
@@ -1203,6 +1444,7 @@ const DONE_FIELDS: FieldTable = &[
     ("points", "number", "jobs in the batch"),
     ("ok", "number", "points that produced metrics"),
     ("failed", "number", "points that failed (one `point_failed` event each)"),
+    ("cancelled", "number", "points skipped by cancellation (surfaced as `point_failed` with error `cancelled`)"),
     ("cache_hits", "number", "points served from the result cache"),
     ("cache_misses", "number", "points freshly simulated"),
     ("config_hash", "hex string", "order-sensitive combined hash over every job's cache key"),
@@ -1215,6 +1457,8 @@ const EVENT_FIELDS: FieldTable = &[
     ("point", "see point table", "one evaluated operating point (strict index order)"),
     ("point_failed", "id, index, config_hash, seed, error", "one failed operating point (same ordering)"),
     ("done", "see done table", "batch finished; always the request's last event"),
+    ("busy", "id, pending, limit", "batch rejected by backpressure; no `accepted`/`done` follows"),
+    ("cancelled", "id, active", "answer to `cancel`; `active` is whether the batch was in flight"),
     ("pong", "—", "answer to `ping`"),
     ("error", "id?, message", "request could not be parsed or served"),
 ];
@@ -1243,6 +1487,12 @@ fn render_table(title: &str, columns: [&str; 3], rows: FieldTable, out: &mut Str
 /// request/response types without failing CI.
 pub fn schema_reference() -> String {
     let mut out = String::new();
+    render_table(
+        "Requests",
+        ["Request", "Fields", "Meaning"],
+        REQUEST_FIELDS,
+        &mut out,
+    );
     render_table(
         "`submit` request",
         ["Field", "Type", "Meaning"],
@@ -1315,9 +1565,19 @@ mod tests {
         for req in [
             ServiceRequest::Ping,
             ServiceRequest::Shutdown,
+            ServiceRequest::Cancel {
+                id: "r9".to_string(),
+            },
             ServiceRequest::Submit(SubmitRequest {
                 id: "r1".to_string(),
                 label: "fig11".to_string(),
+                priority: 0,
+                jobs: sample_jobs(),
+            }),
+            ServiceRequest::Submit(SubmitRequest {
+                id: "r2".to_string(),
+                label: "urgent".to_string(),
+                priority: -3,
                 jobs: sample_jobs(),
             }),
         ] {
@@ -1381,13 +1641,23 @@ mod tests {
                 id: "r".to_string(),
                 summary: BatchSummary {
                     points: 9,
-                    ok: 8,
+                    ok: 6,
                     failed: 1,
+                    cancelled: 2,
                     cache_hits: 3,
-                    cache_misses: 5,
+                    cache_misses: 3,
                     config_hash: 0x1234_5678_9abc_def0,
                     wall_ms: 88.5,
                 },
+            },
+            ServiceResponse::Busy {
+                id: "r".to_string(),
+                pending: 480,
+                limit: 512,
+            },
+            ServiceResponse::Cancelled {
+                id: "r".to_string(),
+                active: true,
             },
             ServiceResponse::Pong,
             ServiceResponse::Error {
@@ -1542,10 +1812,13 @@ mod tests {
         let req = SubmitRequest {
             id: "unit".to_string(),
             label: "unit".to_string(),
+            priority: 0,
             jobs: sample_jobs(),
         };
         let mut events = Vec::new();
-        let summary = service.run_submit(&req, &mut |e| events.push(e));
+        let summary = service
+            .run_submit(&req, &mut |e| events.push(e))
+            .expect("no queue limit configured");
         assert_eq!(summary.points, 2);
         assert_eq!(summary.ok, 2);
         assert_eq!(summary.failed, 0);
@@ -1570,7 +1843,9 @@ mod tests {
             })
             .collect();
         let mut events2 = Vec::new();
-        let summary2 = service.run_submit(&req, &mut |e| events2.push(e));
+        let summary2 = service
+            .run_submit(&req, &mut |e| events2.push(e))
+            .expect("no queue limit configured");
         assert_eq!(summary2.cache_hits, 2);
         let second: Vec<ManifestPoint> = events2
             .iter()
@@ -1609,6 +1884,110 @@ mod tests {
         );
         assert!(matches!(events[0], ServiceResponse::Pong));
         assert!(matches!(events[1], ServiceResponse::Error { .. }));
+    }
+
+    fn submit(id: &str, priority: i64) -> SubmitRequest {
+        SubmitRequest {
+            id: id.to_string(),
+            label: "unit".to_string(),
+            priority,
+            jobs: sample_jobs(),
+        }
+    }
+
+    #[test]
+    fn queue_limit_rejects_with_busy_and_priority_overrides() {
+        let service = SweepService::new(
+            Experiment::quick(),
+            ExperimentRunner::with_workers(1),
+            DiskResultCache::in_memory(code_version("quick")),
+        )
+        .with_queue_limit(1);
+        assert_eq!(service.queue_limit(), Some(1));
+        // Two jobs against a limit of one: rejected, with a lone busy event.
+        let mut events = Vec::new();
+        assert!(service.run_submit(&submit("b0", 0), &mut |e| events.push(e)).is_none());
+        assert_eq!(events.len(), 1, "busy is the only event");
+        assert!(
+            matches!(&events[0], ServiceResponse::Busy { id, pending: 0, limit: 1 } if id == "b0")
+        );
+        // Negative priority halves the limit (1 / 2 = 0): also rejected.
+        let mut events = Vec::new();
+        assert!(service.run_submit(&submit("b1", -1), &mut |e| events.push(e)).is_none());
+        assert!(matches!(&events[0], ServiceResponse::Busy { limit: 0, .. }));
+        // Positive priority bypasses the limit entirely.
+        let mut events = Vec::new();
+        let summary = service
+            .run_submit(&submit("b2", 1), &mut |e| events.push(e))
+            .expect("positive priority bypasses the queue limit");
+        assert_eq!(summary.ok, 2);
+        assert_eq!(service.pending_points(), 0, "pending drains to zero");
+    }
+
+    #[test]
+    fn armed_cancel_skips_every_point() {
+        let service = SweepService::new(
+            Experiment::quick(),
+            ExperimentRunner::with_workers(2),
+            DiskResultCache::in_memory(code_version("quick")),
+        );
+        // Cancel before the submit arrives: not active, but armed.
+        assert!(!service.cancel("c0"));
+        let mut events = Vec::new();
+        let summary = service
+            .run_submit(&submit("c0", 0), &mut |e| events.push(e))
+            .expect("cancel does not reject admission");
+        assert_eq!(summary.ok, 0);
+        assert_eq!(summary.failed, 0);
+        assert_eq!(summary.cancelled, summary.points);
+        let errors: Vec<&str> = events
+            .iter()
+            .filter_map(|e| match e {
+                ServiceResponse::PointFailed { error, .. } => Some(error.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(errors.len(), summary.points);
+        assert!(errors.iter().all(|e| *e == "cancelled"));
+        // The registry entry is cleared: resubmitting the same id runs.
+        let summary = service
+            .run_submit(&submit("c0", 0), &mut |_| {})
+            .expect("admitted");
+        assert_eq!(summary.ok, summary.points);
+        assert_eq!(summary.cancelled, 0);
+    }
+
+    #[test]
+    fn poisoned_cache_lock_keeps_the_service_serving() {
+        let dir = scratch_dir("poison");
+        let (cache, _) = DiskResultCache::open(&dir, code_version("quick")).unwrap();
+        let service = SweepService::new(
+            Experiment::quick(),
+            ExperimentRunner::with_workers(2),
+            cache,
+        );
+        service.cache().poison_for_test();
+        // Every cache-path API must still answer through the recovered
+        // guard rather than propagating the poison panic.
+        assert_eq!(service.cache().dir().as_deref(), Some(dir.as_path()));
+        let mut events = Vec::new();
+        let mut emit = |e: ServiceResponse| events.push(e);
+        assert_eq!(
+            service.handle_line("{\"type\":\"ping\"}", &mut emit),
+            ServiceControl::Continue
+        );
+        assert!(matches!(events[0], ServiceResponse::Pong));
+        let summary = service
+            .run_submit(&submit("p0", 0), &mut |_| {})
+            .expect("admitted");
+        assert_eq!(summary.ok, summary.points, "batch runs after poisoning");
+        assert_eq!(
+            service.cache().persisted_len(),
+            summary.points,
+            "results persist through the recovered lock"
+        );
+        assert_eq!(service.cache().compact().unwrap(), summary.points);
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

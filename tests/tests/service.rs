@@ -67,6 +67,7 @@ fn cache_round_trip_is_bit_identical_across_restart() {
     let req = SubmitRequest {
         id: "r1".to_string(),
         label: "restart".to_string(),
+        priority: 0,
         jobs: jobs(6),
     };
     let fresh = {
@@ -81,11 +82,13 @@ fn cache_round_trip_is_bit_identical_across_restart() {
     assert_eq!(report.loaded, req.jobs.len(), "all points reloaded from disk");
     let service = quick_service(cache);
     let mut replayed = Vec::new();
-    let summary = service.run_submit(&req, &mut |ev| {
-        if let ServiceResponse::Point { point, .. } = ev {
-            replayed.push(point);
-        }
-    });
+    let summary = service
+        .run_submit(&req, &mut |ev| {
+            if let ServiceResponse::Point { point, .. } = ev {
+                replayed.push(point);
+            }
+        })
+        .expect("no queue limit configured");
     assert_eq!(summary.cache_hits as usize, req.jobs.len(), "all hits");
     assert_eq!(summary.cache_misses, 0);
     for (a, b) in fresh.iter().zip(&replayed) {
@@ -116,6 +119,7 @@ fn corrupted_segment_line_is_skipped_not_fatal() {
     let req = SubmitRequest {
         id: "c1".to_string(),
         label: "corrupt".to_string(),
+        priority: 0,
         jobs: jobs(3),
     };
     {
@@ -160,6 +164,7 @@ fn version_stamp_invalidates_stale_records() {
     let req = SubmitRequest {
         id: "v1".to_string(),
         label: "version".to_string(),
+        priority: 0,
         jobs: jobs(2),
     };
     {
@@ -198,6 +203,7 @@ fn concurrent_submissions_preserve_per_request_ordering() {
             SubmitRequest {
                 id: format!("conc-{r}"),
                 label: "conc".to_string(),
+                priority: 0,
                 jobs: js,
             }
         })
@@ -247,4 +253,130 @@ fn concurrent_submissions_preserve_per_request_ordering() {
             }
         }
     }
+}
+
+/// Cancelling a batch mid-flight (from inside the event stream, so the
+/// batch is genuinely running) stops the remaining points as `cancelled`
+/// failures, accounts for every point, and leaves the service healthy.
+#[test]
+fn mid_flight_cancel_stops_remaining_points() {
+    let service = quick_service(DiskResultCache::in_memory(code_version("quick")));
+    let req = SubmitRequest {
+        id: "mc1".to_string(),
+        label: "mid-cancel".to_string(),
+        priority: 0,
+        jobs: jobs(12),
+    };
+    let mut cancelled_event = false;
+    let mut failures: Vec<(usize, String)> = Vec::new();
+    let mut ordered: Vec<usize> = Vec::new();
+    let summary = service
+        .run_submit(&req, &mut |ev| match ev {
+            // Trigger the cancel from within the stream: the first
+            // progress event proves the batch is in flight.
+            ServiceResponse::Progress { .. } if !cancelled_event => {
+                cancelled_event = true;
+                assert!(service.cancel(&req.id), "batch should be active");
+            }
+            ServiceResponse::Point { point, .. } => ordered.push(point.index),
+            ServiceResponse::PointFailed { index, error, .. } => {
+                assert_eq!(error, "cancelled");
+                ordered.push(index);
+                failures.push((index, error));
+            }
+            _ => {}
+        })
+        .expect("no queue limit configured");
+    assert!(cancelled_event, "at least one progress event fired");
+    assert_eq!(
+        summary.ok + summary.failed + summary.cancelled,
+        req.jobs.len(),
+        "every point accounted for"
+    );
+    assert_eq!(summary.cancelled, failures.len());
+    assert_eq!(summary.failed, 0, "only cancellations, no real failures");
+    assert_eq!(ordered, (0..req.jobs.len()).collect::<Vec<_>>(), "strict order held");
+    // The registry entry is gone: resubmitting the same id runs clean.
+    let rerun = service
+        .run_submit(&req, &mut |_| {})
+        .expect("no queue limit configured");
+    assert_eq!(rerun.ok, req.jobs.len());
+    assert_eq!(rerun.cancelled, 0);
+}
+
+/// Backpressure end-to-end: a service with a queue limit rejects an
+/// oversized batch with `busy` (and no other events), keeps serving
+/// afterwards, and admits a high-priority batch past the limit.
+#[test]
+fn queue_limit_busy_then_recovers() {
+    let service = quick_service(DiskResultCache::in_memory(code_version("quick")))
+        .with_queue_limit(3);
+    let req = SubmitRequest {
+        id: "bp1".to_string(),
+        label: "backpressure".to_string(),
+        priority: 0,
+        jobs: jobs(5),
+    };
+    let mut events = Vec::new();
+    let outcome = service.run_submit(&req, &mut |ev| events.push(ev));
+    assert!(outcome.is_none(), "oversized batch rejected");
+    assert_eq!(events.len(), 1, "busy is the only event");
+    assert!(
+        matches!(&events[0], ServiceResponse::Busy { id, pending: 0, limit: 3 } if id == "bp1"),
+        "got {:?}",
+        events[0]
+    );
+    assert_eq!(service.pending_points(), 0, "rejection admits nothing");
+    // Same batch at high priority bypasses the limit entirely...
+    let high = SubmitRequest {
+        priority: 1,
+        ..req.clone()
+    };
+    let summary = service
+        .run_submit(&high, &mut |_| {})
+        .expect("priority bypasses the limit");
+    assert_eq!(summary.ok, req.jobs.len());
+    // ...and the pending count drained, so a fitting batch is admitted.
+    let small = SubmitRequest {
+        id: "bp2".to_string(),
+        label: "fits".to_string(),
+        priority: 0,
+        jobs: jobs(3),
+    };
+    let summary = service
+        .run_submit(&small, &mut |_| {})
+        .expect("within the limit after drain");
+    assert_eq!(summary.ok, 3);
+}
+
+/// A poisoned cache-disk lock (a panic while holding it) must not take the
+/// daemon down: subsequent submissions, persistence, and compaction all
+/// recover the guard and keep answering.
+#[test]
+fn poisoned_disk_lock_keeps_serving_batches() {
+    let dir = scratch_dir("poison");
+    let (cache, _) = DiskResultCache::open(&dir, code_version("quick")).unwrap();
+    let service = quick_service(cache);
+    let req = SubmitRequest {
+        id: "p1".to_string(),
+        label: "poison".to_string(),
+        priority: 0,
+        jobs: jobs(4),
+    };
+    let first = service
+        .run_submit(&req, &mut |_| {})
+        .expect("no queue limit configured");
+    assert_eq!(first.ok, req.jobs.len());
+    service.cache().poison_for_test();
+    // The daemon keeps serving through the poisoned lock: the rerun is
+    // answered entirely from cache, persistence and compaction still work.
+    let rerun = service
+        .run_submit(&req, &mut |_| {})
+        .expect("no queue limit configured");
+    assert_eq!(rerun.ok, req.jobs.len());
+    assert_eq!(rerun.cache_hits as usize, req.jobs.len(), "cache still answers");
+    service.cache().persist_jobs(&req.jobs).unwrap();
+    let live = service.cache().compact().unwrap();
+    assert_eq!(live, req.jobs.len());
+    let _ = std::fs::remove_dir_all(&dir);
 }
