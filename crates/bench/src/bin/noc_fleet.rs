@@ -10,6 +10,7 @@
 //!
 //! ```text
 //! noc_fleet --shard PATH [--shard PATH ...] [--socket PATH]
+//!           [--metrics ADDR-OR-PATH]
 //! ```
 //!
 //! - `--shard PATH` (repeatable, at least one) — a shard daemon's Unix
@@ -19,10 +20,16 @@
 //!   so they merge by concatenating segment files.
 //! - `--socket PATH` — listen on a Unix domain socket (one thread per
 //!   connection) instead of serving a single session on stdin/stdout.
+//! - `--metrics ADDR-OR-PATH` — serve the fleet-aggregated metrics
+//!   snapshot as Prometheus text exposition (v0.0.4): `:` means a TCP
+//!   bind address, anything else a Unix-socket path. Each scrape polls
+//!   every shard's `stats` and merges (histogram log buckets merge
+//!   exactly, never resampled).
 //!
 //! Request handling: `submit` fans out (sub-batch ids get a `#s<shard>`
 //! suffix on the shard wire); `cancel` and `shutdown` forward to every
-//! shard; `ping` answers `pong` only if every shard does.
+//! shard; `ping` answers `pong` only if every shard does; `stats`
+//! answers the aggregated snapshot with per-shard health attached.
 
 use std::io::{BufRead, Write};
 use std::path::PathBuf;
@@ -34,12 +41,14 @@ use noc_sprinting::service::{ServiceControl, ServiceRequest, ServiceResponse};
 struct Args {
     shards: Vec<PathBuf>,
     socket: Option<PathBuf>,
+    metrics: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         shards: Vec::new(),
         socket: None,
+        metrics: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -51,11 +60,17 @@ fn parse_args() -> Result<Args, String> {
         match a.as_str() {
             "--shard" => args.shards.push(path_value("--shard", &mut it)?),
             "--socket" => args.socket = Some(path_value("--socket", &mut it)?),
+            "--metrics" => {
+                args.metrics =
+                    Some(it.next().ok_or("--metrics requires an address or path")?);
+            }
             other => {
                 if let Some(v) = other.strip_prefix("--shard=") {
                     args.shards.push(PathBuf::from(v));
                 } else if let Some(v) = other.strip_prefix("--socket=") {
                     args.socket = Some(PathBuf::from(v));
+                } else if let Some(v) = other.strip_prefix("--metrics=") {
+                    args.metrics = Some(v.to_string());
                 } else {
                     return Err(format!("unknown argument {other:?} (see SERVICE.md)"));
                 }
@@ -82,6 +97,21 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     eprintln!("noc_fleet: {} shard(s) answering", fleet.shards());
+    if let Some(target) = &args.metrics {
+        // Clones share the coordinator's metrics registry, so the scrape
+        // thread sees the serving loop's counters.
+        let scrape_fleet = fleet.clone();
+        let bound = noc_bench::obs::serve_metrics(target, move || {
+            noc_sprinting::metrics::render_prometheus(&scrape_fleet.stats())
+        });
+        match bound {
+            Ok(addr) => eprintln!("noc_fleet: metrics on {addr}"),
+            Err(e) => {
+                eprintln!("noc_fleet: cannot serve metrics on {target}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     let outcome = match &args.socket {
         Some(path) => serve_socket(&fleet, path),
         None => serve_stdio(&fleet),
@@ -115,13 +145,20 @@ fn handle_fleet_line(
         }
     };
     match req {
-        ServiceRequest::Ping => match fleet.ping() {
-            Ok(()) => emit(ServiceResponse::Pong),
+        ServiceRequest::Ping => match fleet.ping_identity() {
+            Ok((code_version, uptime_ms)) => emit(ServiceResponse::Pong {
+                uptime_ms,
+                code_version,
+                engine: "noc-fleet".to_string(),
+            }),
             Err(e) => emit(ServiceResponse::Error {
                 id: None,
                 message: format!("shard ping failed: {e}"),
             }),
         },
+        ServiceRequest::Stats => emit(ServiceResponse::Stats {
+            snapshot: fleet.stats(),
+        }),
         ServiceRequest::Cancel { id } => {
             let active = fleet.cancel(&id);
             emit(ServiceResponse::Cancelled { id, active });

@@ -7,6 +7,7 @@
 //!
 //! ```text
 //! noc_serve [--cache DIR] [--socket PATH] [--workers N] [--queue-limit N]
+//!           [--metrics ADDR-OR-PATH] [--slow-factor F]
 //!           [--quick] [--compact] [--print-schema]
 //! ```
 //!
@@ -20,6 +21,14 @@
 //! - `--queue-limit N` — backpressure: reject a submit with a `busy` event
 //!   when admitting it would push the pending-point count past `N`
 //!   (request `priority` shifts the effective limit; default: unlimited).
+//! - `--metrics ADDR-OR-PATH` — additionally serve the live metrics
+//!   snapshot as Prometheus text exposition (v0.0.4): a value containing
+//!   `:` is a TCP bind address (`127.0.0.1:0` picks a free port, printed
+//!   on stderr), anything else a Unix-socket path. Scrapes never block
+//!   the serving loop. The same data answers the `stats` wire verb.
+//! - `--slow-factor F` — flag a point as *slow* (recorded in the `stats`
+//!   snapshot) when its uncached runtime exceeds `F×` the running mean
+//!   (default 8, must be positive).
 //! - `--quick` — serve the reduced `Experiment::quick()` configuration
 //!   instead of the paper's (separate cache version stamps keep the two
 //!   from mixing).
@@ -44,6 +53,8 @@ struct Args {
     socket: Option<PathBuf>,
     workers: Option<usize>,
     queue_limit: Option<usize>,
+    metrics: Option<String>,
+    slow_factor: Option<f64>,
     quick: bool,
     compact: bool,
     print_schema: bool,
@@ -61,12 +72,24 @@ fn positive(name: &str, value: Option<String>) -> Result<usize, String> {
         .ok_or_else(|| format!("{name} requires a positive integer, got {value:?}"))
 }
 
+/// Parses a flag value as a positive float (the slow-point factor).
+fn positive_f64(name: &str, value: Option<String>) -> Result<f64, String> {
+    let value = value.ok_or_else(|| format!("{name} requires a positive number"))?;
+    value
+        .parse::<f64>()
+        .ok()
+        .filter(|&f| f.is_finite() && f > 0.0)
+        .ok_or_else(|| format!("{name} requires a positive number, got {value:?}"))
+}
+
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         cache: None,
         socket: None,
         workers: None,
         queue_limit: None,
+        metrics: None,
+        slow_factor: None,
         quick: false,
         compact: false,
         print_schema: false,
@@ -83,6 +106,13 @@ fn parse_args() -> Result<Args, String> {
             "--socket" => args.socket = Some(path_value("--socket", &mut it)?),
             "--workers" => args.workers = Some(positive("--workers", it.next())?),
             "--queue-limit" => args.queue_limit = Some(positive("--queue-limit", it.next())?),
+            "--metrics" => {
+                args.metrics =
+                    Some(it.next().ok_or("--metrics requires an address or path")?);
+            }
+            "--slow-factor" => {
+                args.slow_factor = Some(positive_f64("--slow-factor", it.next())?);
+            }
             "--quick" => args.quick = true,
             "--compact" => args.compact = true,
             "--print-schema" => args.print_schema = true,
@@ -95,6 +125,11 @@ fn parse_args() -> Result<Args, String> {
                     args.workers = Some(positive("--workers", Some(v.to_string()))?);
                 } else if let Some(v) = other.strip_prefix("--queue-limit=") {
                     args.queue_limit = Some(positive("--queue-limit", Some(v.to_string()))?);
+                } else if let Some(v) = other.strip_prefix("--metrics=") {
+                    args.metrics = Some(v.to_string());
+                } else if let Some(v) = other.strip_prefix("--slow-factor=") {
+                    args.slow_factor =
+                        Some(positive_f64("--slow-factor", Some(v.to_string()))?);
                 } else {
                     return Err(format!("unknown argument {other:?} (see SERVICE.md)"));
                 }
@@ -164,6 +199,25 @@ fn main() -> ExitCode {
     let mut service = SweepService::new(experiment, runner, cache);
     if let Some(limit) = args.queue_limit {
         service = service.with_queue_limit(limit);
+    }
+    if let Some(factor) = args.slow_factor {
+        service = service.with_slow_point_factor(factor);
+    }
+    // The metrics listener outlives this scope's borrows (detached
+    // thread), so the service lives behind an Arc.
+    let service = std::sync::Arc::new(service);
+    if let Some(target) = &args.metrics {
+        let svc = std::sync::Arc::clone(&service);
+        let bound = noc_bench::obs::serve_metrics(target, move || {
+            noc_sprinting::metrics::render_prometheus(&svc.stats_snapshot())
+        });
+        match bound {
+            Ok(addr) => eprintln!("noc_serve: metrics on {addr}"),
+            Err(e) => {
+                eprintln!("noc_serve: cannot serve metrics on {target}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
     }
     let outcome = match &args.socket {
         Some(path) => serve_socket(&service, path),

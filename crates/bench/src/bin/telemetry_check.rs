@@ -23,12 +23,26 @@
 //! caches disjoint and mergeable by concatenation, so a mis-owned key is
 //! an error. Duplicate keys across shards are impossible by the same rule
 //! (within a shard they must agree bit-for-bit as usual).
+//!
+//! `telemetry_check --stats FILE` validates dumped `stats` snapshots (one
+//! JSON object per line, the `noc_top --once --json` format, optionally
+//! tagged with a `"target"` field). Per snapshot: every histogram's
+//! `count` must equal the sum of its bucket counts, and the accounting
+//! identity `submitted == completed + failed + cancelled + in_flight`
+//! must hold over the `noc_points_*` metrics. Across consecutive
+//! snapshots of the same target: counters, histogram counts/sums, and
+//! uptime must be monotonically non-decreasing — a counter that went
+//! backwards means torn reads or a lost snapshot source.
+//!
+//! `telemetry_check --prom FILE` validates a scraped Prometheus text
+//! exposition (v0.0.4) dump under the strict line-format checker.
 
 use std::collections::HashMap;
 
 use noc_sprinting::fleet::shard_of;
+use noc_sprinting::metrics::{validate_prometheus, StatsSnapshot};
 use noc_sprinting::service::CacheRecord;
-use noc_sprinting::telemetry::{validate_chrome_trace, RunManifest};
+use noc_sprinting::telemetry::{validate_chrome_trace, JsonValue, RunManifest};
 
 /// Checks one manifest's internal coherence beyond what parsing enforces.
 fn check_manifest(m: &RunManifest) -> Result<(), String> {
@@ -241,15 +255,165 @@ fn check_shard_ownership(
     Ok(())
 }
 
+/// One snapshot's internal coherence: histogram bucket sums and the
+/// point-accounting identity.
+fn check_snapshot(s: &StatsSnapshot) -> Result<(), String> {
+    for (name, h) in &s.metrics.histograms {
+        let bucket_total: u64 = h.buckets.iter().map(|&(_, c)| c).sum();
+        if bucket_total != h.count {
+            return Err(format!(
+                "histogram {name}: count {} != sum of bucket counts {bucket_total}",
+                h.count
+            ));
+        }
+    }
+    if let Some(submitted) = s.metrics.counter("noc_points_submitted_total") {
+        let completed = s.metrics.counter("noc_points_completed_total").unwrap_or(0);
+        let failed = s.metrics.counter("noc_points_failed_total").unwrap_or(0);
+        let cancelled = s.metrics.counter("noc_points_cancelled_total").unwrap_or(0);
+        let in_flight = s.metrics.gauge("noc_points_in_flight").unwrap_or(0.0);
+        if in_flight < 0.0 || in_flight.fract() != 0.0 {
+            return Err(format!("noc_points_in_flight is not a whole count: {in_flight}"));
+        }
+        let accounted = completed + failed + cancelled + in_flight as u64;
+        if submitted != accounted {
+            return Err(format!(
+                "point accounting broken: submitted {submitted} != \
+                 completed {completed} + failed {failed} + cancelled {cancelled} + \
+                 in_flight {in_flight}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Between two polls of the same engine, monotonic quantities may only
+/// grow: counters, histogram counts and sums, uptime.
+fn check_monotonic(prev: &StatsSnapshot, next: &StatsSnapshot) -> Result<(), String> {
+    for &(ref name, was) in &prev.metrics.counters {
+        if let Some(now) = next.metrics.counter(name) {
+            if now < was {
+                return Err(format!("counter {name} went backwards: {was} -> {now}"));
+            }
+        }
+    }
+    for (name, was) in &prev.metrics.histograms {
+        if let Some(now) = next.metrics.histogram(name) {
+            if now.count < was.count || now.sum < was.sum {
+                return Err(format!(
+                    "histogram {name} went backwards: count {} -> {}, sum {} -> {}",
+                    was.count, now.count, was.sum, now.sum
+                ));
+            }
+        }
+    }
+    if next.uptime_ms < prev.uptime_ms {
+        return Err(format!(
+            "uptime went backwards: {} -> {} ms (engine restarted between polls?)",
+            prev.uptime_ms, next.uptime_ms
+        ));
+    }
+    Ok(())
+}
+
+/// Validates a file of dumped `stats` snapshots (JSONL, `noc_top --once
+/// --json` format). Returns the process exit code.
+fn check_stats(file: &str) -> i32 {
+    let text = match std::fs::read_to_string(file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {file}: {e}");
+            return 2;
+        }
+    };
+    // Consecutive snapshots are compared per target, so interleaved dumps
+    // of several engines don't cross-contaminate the monotonicity check.
+    let mut last: HashMap<String, StatsSnapshot> = HashMap::new();
+    let (mut snapshots, mut failures) = (0usize, 0usize);
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let outcome = JsonValue::parse(line)
+            .and_then(|v| {
+                let target = v
+                    .get("target")
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or_default()
+                    .to_string();
+                StatsSnapshot::from_json(&v).map(|s| (target, s))
+            })
+            .and_then(|(target, s)| {
+                check_snapshot(&s)?;
+                if let Some(prev) = last.get(&target) {
+                    check_monotonic(prev, &s)?;
+                }
+                last.insert(target.clone(), s.clone());
+                Ok((target, s))
+            });
+        match outcome {
+            Ok((target, s)) => {
+                snapshots += 1;
+                let label = if target.is_empty() { s.engine.clone() } else { target };
+                println!(
+                    "ok line {}: {label} ({}, up {:.0} ms, {} counters, {} histograms)",
+                    lineno + 1,
+                    s.engine,
+                    s.uptime_ms,
+                    s.metrics.counters.len(),
+                    s.metrics.histograms.len()
+                );
+            }
+            Err(e) => {
+                eprintln!("FAIL line {}: {e}", lineno + 1);
+                failures += 1;
+            }
+        }
+    }
+    if snapshots == 0 && failures == 0 {
+        eprintln!("FAIL: no stats snapshots in {file}");
+        return 1;
+    }
+    println!("checked {snapshots} stats snapshot(s), {failures} failure(s)");
+    i32::from(failures > 0)
+}
+
+/// Validates a scraped Prometheus exposition dump. Returns the exit code.
+fn check_prom(file: &str) -> i32 {
+    let text = match std::fs::read_to_string(file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {file}: {e}");
+            return 2;
+        }
+    };
+    match validate_prometheus(&text) {
+        Ok(samples) => {
+            println!("ok {file}: {samples} exposition sample(s)");
+            0
+        }
+        Err(e) => {
+            eprintln!("FAIL {file}: {e}");
+            1
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if let [flag, dir] = args.as_slice() {
-        if flag == "--fleet" {
-            std::process::exit(check_fleet(dir));
+    if let [flag, target] = args.as_slice() {
+        match flag.as_str() {
+            "--fleet" => std::process::exit(check_fleet(target)),
+            "--stats" => std::process::exit(check_stats(target)),
+            "--prom" => std::process::exit(check_prom(target)),
+            _ => {}
         }
     }
     let [dir] = args.as_slice() else {
-        eprintln!("usage: telemetry_check DIR | telemetry_check --fleet DIR");
+        eprintln!(
+            "usage: telemetry_check DIR | telemetry_check --fleet DIR | \
+             telemetry_check --stats FILE | telemetry_check --prom FILE"
+        );
         std::process::exit(2);
     };
     let dir = dir.clone();

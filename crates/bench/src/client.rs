@@ -12,6 +12,7 @@
 use std::io::{BufRead, Write};
 
 use noc_sprinting::experiment::NetworkMetrics;
+use noc_sprinting::metrics::StatsSnapshot;
 use noc_sprinting::runner::SyntheticJob;
 use noc_sprinting::service::{
     metrics_from_pairs, BatchSummary, ServiceRequest, ServiceResponse, SubmitRequest,
@@ -134,9 +135,46 @@ impl<R: BufRead, W: Write> ServiceClient<R, W> {
     pub fn ping(&mut self) -> Result<(), ServiceClientError> {
         self.send(&ServiceRequest::Ping)?;
         match self.read_event()? {
-            ServiceResponse::Pong => Ok(()),
+            ServiceResponse::Pong { .. } => Ok(()),
             other => Err(ServiceClientError::Protocol(format!(
                 "expected pong, got {}",
+                other.to_json_line()
+            ))),
+        }
+    }
+
+    /// Round-trips a `ping` and returns the daemon's identity:
+    /// `(engine, code_version, uptime_ms)`.
+    ///
+    /// # Errors
+    ///
+    /// Transport failure, or anything but `pong` coming back.
+    pub fn ping_identity(&mut self) -> Result<(String, String, f64), ServiceClientError> {
+        self.send(&ServiceRequest::Ping)?;
+        match self.read_event()? {
+            ServiceResponse::Pong {
+                uptime_ms,
+                code_version,
+                engine,
+            } => Ok((engine, code_version, uptime_ms)),
+            other => Err(ServiceClientError::Protocol(format!(
+                "expected pong, got {}",
+                other.to_json_line()
+            ))),
+        }
+    }
+
+    /// Requests a live-metrics snapshot (`stats` verb).
+    ///
+    /// # Errors
+    ///
+    /// Transport failure, or anything but `stats` coming back.
+    pub fn stats(&mut self) -> Result<StatsSnapshot, ServiceClientError> {
+        self.send(&ServiceRequest::Stats)?;
+        match self.read_event()? {
+            ServiceResponse::Stats { snapshot } => Ok(snapshot),
+            other => Err(ServiceClientError::Protocol(format!(
+                "expected stats, got {}",
                 other.to_json_line()
             ))),
         }
@@ -303,9 +341,14 @@ impl<R: BufRead, W: Write> ServiceClient<R, W> {
                         "unsolicited cancelled mid-batch".to_string(),
                     ))
                 }
-                ServiceResponse::Pong => {
+                ServiceResponse::Pong { .. } => {
                     return Err(ServiceClientError::Protocol(
                         "unsolicited pong mid-batch".to_string(),
+                    ))
+                }
+                ServiceResponse::Stats { .. } => {
+                    return Err(ServiceClientError::Protocol(
+                        "unsolicited stats mid-batch".to_string(),
                     ))
                 }
                 ServiceResponse::Error { message, .. } => {
@@ -339,11 +382,21 @@ pub use fleet_client::FleetClient;
 #[cfg(unix)]
 mod fleet_client {
     use std::path::PathBuf;
-    use std::sync::mpsc;
+    use std::sync::{mpsc, Arc};
+    use std::time::Instant;
 
     use noc_sprinting::fleet::{merge_summaries, sub_batch_id, FleetReorder, ShardPlan};
+    use noc_sprinting::metrics::{MetricsRegistry, ShardHealth, STATS_SCHEMA_VERSION};
 
     use super::*;
+
+    /// The fleet coordinator's own metrics, shared across clones so a
+    /// long-lived `noc-fleet` process accumulates over its lifetime.
+    #[derive(Debug)]
+    struct FleetMetrics {
+        registry: MetricsRegistry,
+        started: Instant,
+    }
 
     /// One message from a shard-driver thread to the fleet coordinator.
     enum ShardMsg {
@@ -407,6 +460,7 @@ mod fleet_client {
     pub struct FleetClient {
         sockets: Vec<PathBuf>,
         next_id: u64,
+        metrics: Arc<FleetMetrics>,
     }
 
     impl FleetClient {
@@ -421,6 +475,10 @@ mod fleet_client {
             FleetClient {
                 sockets,
                 next_id: 0,
+                metrics: Arc::new(FleetMetrics {
+                    registry: MetricsRegistry::new(),
+                    started: Instant::now(),
+                }),
             }
         }
 
@@ -444,6 +502,89 @@ mod fleet_client {
                 connect_unix(socket)?.ping()?;
             }
             Ok(())
+        }
+
+        /// Milliseconds since this coordinator (or its first clone
+        /// ancestor) was constructed.
+        pub fn uptime_ms(&self) -> f64 {
+            self.metrics.started.elapsed().as_secs_f64() * 1e3
+        }
+
+        /// Pings every shard and returns the fleet's identity for a
+        /// `pong`: the first shard's code version (shards are expected to
+        /// run the same build — version skew shows up in `stats`) and the
+        /// coordinator's own uptime.
+        ///
+        /// # Errors
+        ///
+        /// The first shard that cannot be reached or misanswers.
+        pub fn ping_identity(&self) -> Result<(String, f64), ServiceClientError> {
+            let mut version = String::new();
+            for socket in &self.sockets {
+                let (_, v, _) = connect_unix(socket)?.ping_identity()?;
+                if version.is_empty() {
+                    version = v;
+                }
+            }
+            Ok((version, self.uptime_ms()))
+        }
+
+        /// Polls every shard's `stats` and aggregates: counters and gauges
+        /// sum by name, histograms merge their log buckets exactly (never
+        /// resampled), slow-point logs concatenate in shard order, and
+        /// each shard's health lands in `shards`. Unreachable shards are
+        /// reported `alive: false` and contribute nothing — a degraded
+        /// fleet still answers `stats`. The coordinator's own metrics
+        /// (points routed per shard, shard-loss events, reorder-buffer
+        /// high-water mark) ride along under `noc_fleet_*` names.
+        pub fn stats(&self) -> StatsSnapshot {
+            let mut metrics = self.metrics.registry.snapshot();
+            let mut slow_points = Vec::new();
+            let mut shards = Vec::with_capacity(self.shards());
+            let mut code_version = String::new();
+            let mut alive = 0usize;
+            for (shard, socket) in self.sockets.iter().enumerate() {
+                let polled = connect_unix(socket)
+                    .map_err(ServiceClientError::from)
+                    .and_then(|mut c| c.stats());
+                match polled {
+                    Ok(s) => {
+                        alive += 1;
+                        if code_version.is_empty() {
+                            code_version = s.code_version.clone();
+                        }
+                        metrics.merge(&s.metrics);
+                        slow_points.extend(s.slow_points);
+                        shards.push(ShardHealth {
+                            shard,
+                            socket: socket.display().to_string(),
+                            alive: true,
+                            engine: s.engine,
+                            code_version: s.code_version,
+                            uptime_ms: s.uptime_ms,
+                        });
+                    }
+                    Err(_) => shards.push(ShardHealth {
+                        shard,
+                        socket: socket.display().to_string(),
+                        alive: false,
+                        engine: String::new(),
+                        code_version: String::new(),
+                        uptime_ms: 0.0,
+                    }),
+                }
+            }
+            metrics.set_gauge("noc_fleet_shards", self.shards() as f64);
+            metrics.set_gauge("noc_fleet_shards_alive", alive as f64);
+            StatsSnapshot {
+                schema: STATS_SCHEMA_VERSION,
+                engine: "noc-fleet".to_string(),
+                code_version,
+                uptime_ms: self.metrics.started.elapsed().as_secs_f64() * 1e3,
+                metrics,
+                slow_points,
+                shards,
+            }
         }
 
         /// Sends `shutdown` to every shard, continuing past failures (a
@@ -497,6 +638,12 @@ mod fleet_client {
             let active: Vec<usize> = (0..self.shards())
                 .filter(|&s| !plan.indices(s).is_empty())
                 .collect();
+            for &shard in &active {
+                self.metrics
+                    .registry
+                    .counter(&format!("noc_fleet_points_routed_total{{shard=\"{shard}\"}}"))
+                    .add(plan.indices(shard).len() as u64);
+            }
             let (tx, rx) = mpsc::channel::<ShardMsg>();
             let mut summaries: Vec<BatchSummary> = Vec::new();
             let mut busy: Option<(usize, usize)> = None;
@@ -577,6 +724,10 @@ mod fleet_client {
                             delivered,
                             message,
                         } => {
+                            self.metrics
+                                .registry
+                                .counter("noc_fleet_shard_loss_total")
+                                .inc();
                             if !first_seen[shard] {
                                 first_seen[shard] = true;
                                 awaiting_first -= 1;
@@ -610,10 +761,18 @@ mod fleet_client {
                         if accepted_emitted {
                             if completed > progress_emitted {
                                 progress_emitted = completed;
+                                // The coordinator has no runner of its own;
+                                // its ETA extrapolates the batch's observed
+                                // rate across what remains.
+                                let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+                                let eta_ms = Some(
+                                    elapsed_ms * (total - completed) as f64 / completed as f64,
+                                );
                                 emit(ServiceResponse::Progress {
                                     id: req.id.clone(),
                                     completed,
                                     total,
+                                    eta_ms,
                                 });
                             }
                             for (index, outcome) in ready.drain(..) {
@@ -632,6 +791,10 @@ mod fleet_client {
                     }
                 }
             });
+            self.metrics
+                .registry
+                .gauge("noc_fleet_reorder_high_water")
+                .set_max(reorder.high_water() as f64);
             if let Some((pending, limit)) = busy {
                 emit(ServiceResponse::Busy {
                     id: req.id.clone(),

@@ -10,6 +10,7 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod obs;
 
 use std::fmt::Write as _;
 use std::io::IsTerminal as _;

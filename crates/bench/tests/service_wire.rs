@@ -59,7 +59,7 @@ fn one_session(cache: &std::path::Path) -> (Vec<ManifestPoint>, BatchSummary) {
     for line in stdout.lines() {
         let line = line.expect("daemon stdout");
         match ServiceResponse::from_json_line(&line).expect("well-formed event") {
-            ServiceResponse::Pong => got_pong = true,
+            ServiceResponse::Pong { .. } => got_pong = true,
             ServiceResponse::Accepted { id, points } => {
                 assert_eq!(id, "wire");
                 assert_eq!(points, 4);
@@ -167,7 +167,7 @@ fn malformed_and_failing_requests_keep_the_daemon_alive() {
                 assert_eq!(point.index, 0);
                 saw_point = true;
             }
-            ServiceResponse::Pong => saw_pong = true,
+            ServiceResponse::Pong { .. } => saw_pong = true,
             ServiceResponse::Done { summary, .. } => done = Some(summary),
             ServiceResponse::Accepted { .. } | ServiceResponse::Progress { .. } => {}
             other => panic!("unexpected event: {other:?}"),

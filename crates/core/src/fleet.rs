@@ -106,6 +106,7 @@ pub struct FleetReorder<T> {
     pending: BTreeMap<usize, T>,
     next: usize,
     total: usize,
+    high_water: usize,
 }
 
 impl<T> FleetReorder<T> {
@@ -115,6 +116,7 @@ impl<T> FleetReorder<T> {
             pending: BTreeMap::new(),
             next: 0,
             total,
+            high_water: 0,
         }
     }
 
@@ -130,6 +132,7 @@ impl<T> FleetReorder<T> {
         assert!(index >= self.next, "index {index} already released");
         let clobbered = self.pending.insert(index, item);
         assert!(clobbered.is_none(), "index {index} delivered twice");
+        self.high_water = self.high_water.max(self.pending.len());
         let mut released = Vec::new();
         while let Some(item) = self.pending.remove(&self.next) {
             released.push((self.next, item));
@@ -146,6 +149,14 @@ impl<T> FleetReorder<T> {
     /// Whether every index in `0..total` has been released.
     pub fn is_complete(&self) -> bool {
         self.next == self.total && self.pending.is_empty()
+    }
+
+    /// The most items ever buffered at once — how far ahead of the
+    /// contiguous prefix the shards have run. A persistently high mark
+    /// means one slow (or dead) shard is holding back the whole merged
+    /// stream; the fleet coordinator exports it as a gauge.
+    pub fn high_water(&self) -> usize {
+        self.high_water
     }
 }
 
@@ -230,6 +241,8 @@ mod tests {
         assert!(!buf.is_complete());
         assert_eq!(buf.push(3, "d"), vec![(3, "d")]);
         assert!(buf.is_complete());
+        // Three items were buffered at once (2, 1, then 0 before release).
+        assert_eq!(buf.high_water(), 3);
     }
 
     #[test]

@@ -34,6 +34,9 @@
 //! - [`service`] — the long-lived `noc-serve` sweep-evaluation service
 //!   ([`service::SweepService`]) with a crash-safe persistent result cache
 //!   ([`service::DiskResultCache`]); wire contract in `SERVICE.md`,
+//! - [`metrics`] — live observability: lock-free-where-hot metrics
+//!   registry, versioned `stats` snapshots, slow-point detection and
+//!   Prometheus text exposition,
 //! - [`fleet`] — the sharded sweep fabric: hash routing, per-shard prefix
 //!   merge and summary merging behind the `noc-fleet` coordinator,
 //! - [`config`] — the Table 1 system configuration.
@@ -73,6 +76,7 @@ pub mod fleet;
 pub mod floorplan;
 pub mod gating;
 pub mod llc;
+pub mod metrics;
 pub mod runner;
 pub mod runtime;
 pub mod service;
@@ -93,6 +97,10 @@ pub use fleet::{merge_summaries, shard_of, sub_batch_id, FleetReorder, ShardPlan
 pub use floorplan::Floorplan;
 pub use gating::GatingPlan;
 pub use llc::LlcAgent;
+pub use metrics::{
+    HistogramSnapshot, MetricsRegistry, MetricsSnapshot, ServiceMetrics, ShardHealth, SlowPoint,
+    StatsSnapshot,
+};
 pub use runner::{
     ExperimentRunner, PointDetail, ResultCache, RunnerProgress, SyntheticBaseline, SyntheticJob,
 };

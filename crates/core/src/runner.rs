@@ -60,6 +60,8 @@ pub struct RunnerProgress {
     scheduled: AtomicUsize,
     completed: AtomicUsize,
     busy_nanos: AtomicU64,
+    hit_completed: AtomicUsize,
+    hit_busy_nanos: AtomicU64,
 }
 
 /// A point-in-time view of [`RunnerProgress`].
@@ -84,6 +86,16 @@ impl RunnerProgress {
             .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
     }
 
+    /// Marks the most recently recorded point as a cache hit. Called *in
+    /// addition to* the regular accounting so the overall counters are
+    /// unchanged; the hit tallies let ETA math subtract near-zero cache
+    /// hits from the mean ([`RunnerProgress::mean_uncached_point_nanos`]).
+    pub fn note_cached(&self, elapsed: Duration) {
+        self.hit_completed.fetch_add(1, Ordering::Relaxed);
+        self.hit_busy_nanos
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+    }
+
     /// Reads the current counters.
     pub fn snapshot(&self) -> ProgressSnapshot {
         ProgressSnapshot {
@@ -102,6 +114,25 @@ impl RunnerProgress {
     pub fn mean_point_nanos(&self) -> Option<f64> {
         let s = self.snapshot();
         (s.completed > 0).then(|| s.busy.as_nanos() as f64 / s.completed as f64)
+    }
+
+    /// Mean busy time per completed **uncached** point in nanoseconds, if
+    /// any uncached point completed. This is the right per-point cost for
+    /// ETA math: cache hits finish in microseconds, and folding them into
+    /// the mean makes a mostly-cached batch predict a wildly pessimistic
+    /// finish for its remaining uncached tail (or a wildly optimistic one,
+    /// depending on order). Returns `None` until at least one uncached
+    /// point has completed.
+    pub fn mean_uncached_point_nanos(&self) -> Option<f64> {
+        let completed = self.completed.load(Ordering::Relaxed);
+        let hits = self.hit_completed.load(Ordering::Relaxed);
+        let uncached = completed.saturating_sub(hits);
+        if uncached == 0 {
+            return None;
+        }
+        let busy = self.busy_nanos.load(Ordering::Relaxed);
+        let hit_busy = self.hit_busy_nanos.load(Ordering::Relaxed);
+        Some(busy.saturating_sub(hit_busy) as f64 / uncached as f64)
     }
 
     /// Mean busy time per completed point, if any completed.
@@ -438,6 +469,9 @@ impl ExperimentRunner {
                         cache_hit,
                         duration: start.elapsed(),
                     };
+                    if cache_hit {
+                        self.progress.note_cached(detail.duration);
+                    }
                     Ok((v, detail))
                 }
                 Err(e) => {
@@ -700,6 +734,26 @@ mod tests {
         let progress = RunnerProgress::default();
         assert_eq!(progress.mean_point_nanos(), None);
         assert_eq!(progress.mean_point_time(), None);
+    }
+
+    #[test]
+    fn mean_uncached_excludes_cache_hits() {
+        let progress = RunnerProgress::default();
+        progress.begin(3);
+        // Two real points at 1ms, one near-instant cache hit.
+        progress.record(Duration::from_millis(1));
+        progress.record(Duration::from_millis(1));
+        progress.record(Duration::from_nanos(100));
+        progress.note_cached(Duration::from_nanos(100));
+        // Overall mean is dragged down by the hit; the uncached mean isn't.
+        assert!(progress.mean_point_nanos().unwrap() < 1_000_000.0);
+        assert_eq!(progress.mean_uncached_point_nanos(), Some(1_000_000.0));
+        // All-hits progress has no uncached mean to offer.
+        let hits_only = RunnerProgress::default();
+        hits_only.begin(1);
+        hits_only.record(Duration::from_nanos(50));
+        hits_only.note_cached(Duration::from_nanos(50));
+        assert_eq!(hits_only.mean_uncached_point_nanos(), None);
     }
 
     #[test]

@@ -39,7 +39,7 @@ use std::fmt::Write as _;
 use std::fs;
 use std::io::{self, Write as _};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -47,6 +47,7 @@ use std::time::Instant;
 use noc_sim::traffic::TrafficPattern;
 
 use crate::experiment::{Experiment, NetworkMetrics};
+use crate::metrics::{ServiceMetrics, StatsSnapshot};
 use crate::runner::{lock_recover, ExperimentRunner, ResultCache, SyntheticBaseline, SyntheticJob};
 use crate::telemetry::{JsonValue, ManifestPoint, RunManifest};
 
@@ -336,6 +337,8 @@ pub enum ServiceRequest {
     },
     /// Liveness probe; answered with `pong`.
     Ping,
+    /// Snapshot the engine's live metrics; answered with `stats`.
+    Stats,
     /// Ask the daemon to exit cleanly.
     Shutdown,
 }
@@ -364,6 +367,11 @@ impl ServiceRequest {
                 JsonValue::Obj(vec![("type".to_string(), JsonValue::Str("ping".to_string()))])
                     .to_json()
             }
+            ServiceRequest::Stats => JsonValue::Obj(vec![(
+                "type".to_string(),
+                JsonValue::Str("stats".to_string()),
+            )])
+            .to_json(),
             ServiceRequest::Shutdown => JsonValue::Obj(vec![(
                 "type".to_string(),
                 JsonValue::Str("shutdown".to_string()),
@@ -421,6 +429,7 @@ impl ServiceRequest {
                     .to_string(),
             }),
             Some("ping") => Ok(ServiceRequest::Ping),
+            Some("stats") => Ok(ServiceRequest::Stats),
             Some("shutdown") => Ok(ServiceRequest::Shutdown),
             other => Err(format!("unknown request type {other:?}")),
         }
@@ -473,6 +482,12 @@ pub enum ServiceResponse {
         completed: usize,
         /// Points in the batch.
         total: usize,
+        /// Estimated milliseconds to batch completion, when the runner has
+        /// seen at least one uncached point. Derived from the mean
+        /// **uncached** point time and this batch's observed hit rate, so
+        /// a mostly-cached batch doesn't extrapolate near-zero hit times
+        /// (or drown them in a pessimistic all-points mean).
+        eta_ms: Option<f64>,
     },
     /// One evaluated operating point, streamed in strict job-index order.
     Point {
@@ -522,7 +537,20 @@ pub enum ServiceResponse {
         active: bool,
     },
     /// Answer to `ping`.
-    Pong,
+    Pong {
+        /// Milliseconds the engine has been up.
+        uptime_ms: f64,
+        /// The engine's code version (cache stamp + experiment tag), so
+        /// clients can detect version skew across a fleet.
+        code_version: String,
+        /// Engine name: `"noc-serve"` or `"noc-fleet"`.
+        engine: String,
+    },
+    /// Answer to `stats`: a versioned live-metrics snapshot.
+    Stats {
+        /// The snapshot (see `SERVICE.md` § Observability).
+        snapshot: StatsSnapshot,
+    },
     /// The request could not be parsed or served.
     Error {
         /// Echo of the request id, when one could be recovered.
@@ -546,13 +574,19 @@ impl ServiceResponse {
                 id,
                 completed,
                 total,
-            } => JsonValue::Obj(vec![
-                ("type".to_string(), JsonValue::Str("progress".to_string())),
-                ("id".to_string(), JsonValue::Str(id.clone())),
-                ("completed".to_string(), JsonValue::Num(*completed as f64)),
-                ("total".to_string(), JsonValue::Num(*total as f64)),
-            ])
-            .to_json(),
+                eta_ms,
+            } => {
+                let mut pairs = vec![
+                    ("type".to_string(), JsonValue::Str("progress".to_string())),
+                    ("id".to_string(), JsonValue::Str(id.clone())),
+                    ("completed".to_string(), JsonValue::Num(*completed as f64)),
+                    ("total".to_string(), JsonValue::Num(*total as f64)),
+                ];
+                if let Some(eta) = eta_ms {
+                    pairs.push(("eta_ms".to_string(), JsonValue::Num(*eta)));
+                }
+                JsonValue::Obj(pairs).to_json()
+            }
             ServiceResponse::Point { id, point } => {
                 // The manifest-point object with the request id spliced in
                 // after "type", so point lines are grep-compatible with
@@ -619,10 +653,25 @@ impl ServiceResponse {
                 ("active".to_string(), JsonValue::Bool(*active)),
             ])
             .to_json(),
-            ServiceResponse::Pong => {
-                JsonValue::Obj(vec![("type".to_string(), JsonValue::Str("pong".to_string()))])
-                    .to_json()
-            }
+            ServiceResponse::Pong {
+                uptime_ms,
+                code_version,
+                engine,
+            } => JsonValue::Obj(vec![
+                ("type".to_string(), JsonValue::Str("pong".to_string())),
+                ("uptime_ms".to_string(), JsonValue::Num(*uptime_ms)),
+                (
+                    "code_version".to_string(),
+                    JsonValue::Str(code_version.clone()),
+                ),
+                ("engine".to_string(), JsonValue::Str(engine.clone())),
+            ])
+            .to_json(),
+            ServiceResponse::Stats { snapshot } => JsonValue::Obj(vec![
+                ("type".to_string(), JsonValue::Str("stats".to_string())),
+                ("snapshot".to_string(), snapshot.to_json()),
+            ])
+            .to_json(),
             ServiceResponse::Error { id, message } => {
                 let mut pairs = vec![(
                     "type".to_string(),
@@ -665,6 +714,7 @@ impl ServiceResponse {
                 id: id()?,
                 completed: num("completed")?,
                 total: num("total")?,
+                eta_ms: v.get("eta_ms").and_then(JsonValue::as_f64),
             }),
             Some("point") => Ok(ServiceResponse::Point {
                 id: id()?,
@@ -718,7 +768,26 @@ impl ServiceResponse {
                     .and_then(JsonValue::as_bool)
                     .ok_or("cancelled missing active")?,
             }),
-            Some("pong") => Ok(ServiceResponse::Pong),
+            // Pre-observability daemons answered a bare {"type":"pong"};
+            // parse leniently so mixed-version fleets stay probeable.
+            Some("pong") => Ok(ServiceResponse::Pong {
+                uptime_ms: v.get("uptime_ms").and_then(JsonValue::as_f64).unwrap_or(0.0),
+                code_version: v
+                    .get("code_version")
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or_default()
+                    .to_string(),
+                engine: v
+                    .get("engine")
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or_default()
+                    .to_string(),
+            }),
+            Some("stats") => Ok(ServiceResponse::Stats {
+                snapshot: StatsSnapshot::from_json(
+                    v.get("snapshot").ok_or("stats missing snapshot")?,
+                )?,
+            }),
             Some("error") => Ok(ServiceResponse::Error {
                 id: v.get("id").and_then(JsonValue::as_str).map(String::from),
                 message: v
@@ -840,6 +909,37 @@ pub struct DiskResultCache {
     memory: ResultCache<NetworkMetrics>,
     version: String,
     disk: Option<Mutex<DiskState>>,
+    /// Stale-version records seen at open (fixed for the cache's lifetime).
+    load_stale: u64,
+    /// Corrupt lines skipped at open (fixed for the cache's lifetime).
+    load_corrupt: u64,
+    /// Compactions performed by this process.
+    compactions: AtomicU64,
+    /// Bytes currently on disk across segment files (approximate during a
+    /// crash window; exact after open, append and compact).
+    segment_bytes: AtomicU64,
+}
+
+/// A point-in-time view of a [`DiskResultCache`]'s counters, for the
+/// observability layer ([`crate::metrics`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Memoization hits since the process started.
+    pub hits: u64,
+    /// Memoization misses since the process started.
+    pub misses: u64,
+    /// Entries currently in memory.
+    pub entries: usize,
+    /// Keys durably recorded on disk (current version).
+    pub persisted: usize,
+    /// Stale-version records ignored at open.
+    pub stale: u64,
+    /// Corrupt lines skipped at open.
+    pub corrupt: u64,
+    /// Compactions performed by this process.
+    pub compactions: u64,
+    /// Bytes on disk across segment files.
+    pub segment_bytes: u64,
 }
 
 fn segment_name(index: usize) -> String {
@@ -862,6 +962,10 @@ impl DiskResultCache {
             memory: ResultCache::new(),
             version: version.into(),
             disk: None,
+            load_stale: 0,
+            load_corrupt: 0,
+            compactions: AtomicU64::new(0),
+            segment_bytes: AtomicU64::new(0),
         }
     }
 
@@ -886,11 +990,13 @@ impl DiskResultCache {
         let memory = ResultCache::new();
         let mut persisted = HashMap::new();
         let mut next_segment = 0usize;
+        let mut segment_bytes = 0u64;
         for name in &names {
             report.segments += 1;
             next_segment = next_segment
                 .max(parse_segment_index(name).expect("filtered above") + 1);
             let text = fs::read_to_string(dir.join(name))?;
+            segment_bytes += text.len() as u64;
             for (lineno, line) in text.lines().enumerate() {
                 if line.trim().is_empty() {
                     continue;
@@ -929,9 +1035,27 @@ impl DiskResultCache {
                     open_segment: None,
                     persisted,
                 })),
+                load_stale: report.stale as u64,
+                load_corrupt: report.corrupt as u64,
+                compactions: AtomicU64::new(0),
+                segment_bytes: AtomicU64::new(segment_bytes),
             },
             report,
         ))
+    }
+
+    /// The cache's live counters, for metrics snapshots.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.memory.hits(),
+            misses: self.memory.misses(),
+            entries: self.memory.len(),
+            persisted: self.persisted_len(),
+            stale: self.load_stale,
+            corrupt: self.load_corrupt,
+            compactions: self.compactions.load(Ordering::Relaxed),
+            segment_bytes: self.segment_bytes.load(Ordering::Relaxed),
+        }
     }
 
     /// The in-memory memo table (hand this to the runner / service loop).
@@ -996,8 +1120,11 @@ impl DiskResultCache {
                 value,
             };
             let seg = state.open_segment.as_mut().expect("opened above");
-            seg.write_all(record.to_json_line().as_bytes())?;
+            let line = record.to_json_line();
+            seg.write_all(line.as_bytes())?;
             seg.write_all(b"\n")?;
+            self.segment_bytes
+                .fetch_add(line.len() as u64 + 1, Ordering::Relaxed);
             state.persisted.insert(key, job.seed);
             written += 1;
         }
@@ -1029,6 +1156,7 @@ impl DiskResultCache {
         let mut live: Vec<(u64, u64)> = state.persisted.iter().map(|(&k, &s)| (k, s)).collect();
         live.sort_unstable();
         let tmp_path = state.dir.join("compact.tmp");
+        let mut compacted_bytes = 0u64;
         {
             let mut out = io::BufWriter::new(fs::File::create(&tmp_path)?);
             for &(key, seed) in &live {
@@ -1039,8 +1167,10 @@ impl DiskResultCache {
                     version: self.version.clone(),
                     value,
                 };
-                out.write_all(record.to_json_line().as_bytes())?;
+                let line = record.to_json_line();
+                out.write_all(line.as_bytes())?;
                 out.write_all(b"\n")?;
+                compacted_bytes += line.len() as u64 + 1;
             }
             out.flush()?;
             out.get_ref().sync_all()?;
@@ -1059,6 +1189,8 @@ impl DiskResultCache {
                 _ => {}
             }
         }
+        self.compactions.fetch_add(1, Ordering::Relaxed);
+        self.segment_bytes.store(compacted_bytes, Ordering::Relaxed);
         Ok(live.len())
     }
 
@@ -1139,6 +1271,11 @@ pub struct SweepService {
     pending: AtomicUsize,
     /// Per-request cancellation flags (including armed pre-cancels).
     cancels: Mutex<HashMap<String, CancelEntry>>,
+    /// Live observability instruments (see [`crate::metrics`]). Snapshot
+    /// reads never block the admission or runner hot paths: the per-point
+    /// path touches only pre-resolved atomics, and the only mutexes are
+    /// the latency histograms, recorded from the per-batch collector.
+    metrics: ServiceMetrics,
 }
 
 impl SweepService {
@@ -1146,6 +1283,7 @@ impl SweepService {
     /// `cache`. The cache's version stamp must be dedicated to this
     /// experiment configuration (see [`code_version`]).
     pub fn new(experiment: Experiment, runner: ExperimentRunner, cache: DiskResultCache) -> Self {
+        let metrics = ServiceMetrics::new("noc-serve", cache.version());
         SweepService {
             experiment,
             runner,
@@ -1153,7 +1291,17 @@ impl SweepService {
             queue_limit: None,
             pending: AtomicUsize::new(0),
             cancels: Mutex::new(HashMap::new()),
+            metrics,
         }
+    }
+
+    /// Sets the slow-point threshold: a point whose uncached runtime
+    /// exceeds `factor ×` the running mean of uncached points is recorded
+    /// in the stats snapshot's slow-point log.
+    #[must_use]
+    pub fn with_slow_point_factor(mut self, factor: f64) -> Self {
+        self.metrics.set_slow_point_factor(factor);
+        self
     }
 
     /// Bounds the pending-point queue: a `submit` whose jobs would push the
@@ -1199,6 +1347,42 @@ impl SweepService {
         &self.cache
     }
 
+    /// The live observability instruments.
+    pub fn metrics(&self) -> &ServiceMetrics {
+        &self.metrics
+    }
+
+    /// Builds the versioned stats snapshot served to `stats` requests and
+    /// the Prometheus listener. Queue, cache and runner state are sampled
+    /// here — at read time — so the serving hot paths never pay for them.
+    pub fn stats_snapshot(&self) -> StatsSnapshot {
+        let reg = self.metrics.registry();
+        reg.gauge("noc_queue_depth").set(self.pending_points() as f64);
+        reg.gauge("noc_queue_limit")
+            .set(self.queue_limit.map_or(0.0, |l| l as f64));
+        let cs = self.cache.stats();
+        reg.counter("noc_cache_hits_total").observe(cs.hits);
+        reg.counter("noc_cache_misses_total").observe(cs.misses);
+        reg.counter("noc_cache_stale_records_total").observe(cs.stale);
+        reg.counter("noc_cache_corrupt_lines_total").observe(cs.corrupt);
+        reg.counter("noc_cache_compactions_total").observe(cs.compactions);
+        reg.gauge("noc_cache_entries").set(cs.entries as f64);
+        reg.gauge("noc_cache_persisted_records").set(cs.persisted as f64);
+        reg.gauge("noc_cache_segment_bytes").set(cs.segment_bytes as f64);
+        let progress = self.runner.progress().snapshot();
+        reg.counter("noc_runner_points_scheduled_total")
+            .observe(progress.scheduled as u64);
+        reg.counter("noc_runner_points_completed_total")
+            .observe(progress.completed as u64);
+        reg.gauge("noc_runner_workers").set(self.runner.workers() as f64);
+        let capacity_ns = self.metrics.uptime_ms() * 1e6 * self.runner.workers() as f64;
+        if capacity_ns > 0.0 {
+            reg.gauge("noc_worker_utilization")
+                .set((progress.busy.as_nanos() as f64 / capacity_ns).min(1.0));
+        }
+        self.metrics.snapshot()
+    }
+
     /// Parses and serves one request line, emitting response events.
     /// Malformed lines produce an `error` event and keep the daemon alive.
     pub fn handle_line(
@@ -1208,6 +1392,7 @@ impl SweepService {
     ) -> ServiceControl {
         match ServiceRequest::from_json_line(line) {
             Err(e) => {
+                self.metrics.count_request_error();
                 emit(ServiceResponse::Error {
                     id: None,
                     message: format!("bad request: {e}"),
@@ -1215,16 +1400,34 @@ impl SweepService {
                 ServiceControl::Continue
             }
             Ok(ServiceRequest::Ping) => {
-                emit(ServiceResponse::Pong);
+                self.metrics.count_request("ping");
+                emit(ServiceResponse::Pong {
+                    uptime_ms: self.metrics.uptime_ms(),
+                    code_version: self.cache.version().to_string(),
+                    engine: "noc-serve".to_string(),
+                });
                 ServiceControl::Continue
             }
-            Ok(ServiceRequest::Shutdown) => ServiceControl::Shutdown,
+            Ok(ServiceRequest::Stats) => {
+                self.metrics.count_request("stats");
+                emit(ServiceResponse::Stats {
+                    snapshot: self.stats_snapshot(),
+                });
+                ServiceControl::Continue
+            }
+            Ok(ServiceRequest::Shutdown) => {
+                self.metrics.count_request("shutdown");
+                ServiceControl::Shutdown
+            }
             Ok(ServiceRequest::Cancel { id }) => {
+                self.metrics.count_request("cancel");
+                self.metrics.cancel_received();
                 let active = self.cancel(&id);
                 emit(ServiceResponse::Cancelled { id, active });
                 ServiceControl::Continue
             }
             Ok(ServiceRequest::Submit(req)) => {
+                self.metrics.count_request("submit");
                 self.run_submit(&req, emit);
                 ServiceControl::Continue
             }
@@ -1273,6 +1476,7 @@ impl SweepService {
                 (p + total <= limit).then_some(p + total)
             });
             if let Err(pending) = admit {
+                self.metrics.busy_rejected();
                 emit(ServiceResponse::Busy {
                     id: req.id.clone(),
                     pending,
@@ -1283,6 +1487,7 @@ impl SweepService {
         } else {
             self.pending.fetch_add(total, Ordering::SeqCst);
         }
+        self.metrics.batch_admitted(total);
         let cancel = self.register_batch(&req.id);
         emit(ServiceResponse::Accepted {
             id: req.id.clone(),
@@ -1311,7 +1516,14 @@ impl SweepService {
                             })
                             .map_err(|e| PointFailure::Failed(e.to_string()))
                     };
-                    let ms = point_start.elapsed().as_secs_f64() * 1e3;
+                    let elapsed = point_start.elapsed();
+                    if matches!(&outcome, Ok((_, true))) {
+                        // Tag the hit for ETA math (two relaxed atomic
+                        // adds — same cost class as the runner's own
+                        // progress accounting).
+                        self.runner.progress().note_cached(elapsed);
+                    }
+                    let ms = elapsed.as_secs_f64() * 1e3;
                     lock_recover(&tx)
                         .send((i, (outcome, ms)))
                         .expect("collector alive while workers run");
@@ -1321,12 +1533,28 @@ impl SweepService {
             // point stream in strict index order.
             let mut pending: BTreeMap<usize, PointOutcome> = BTreeMap::new();
             let mut next = 0usize;
+            let mut batch_hits = 0usize;
             for (completed, (i, outcome)) in rx.iter().enumerate() {
                 self.pending.fetch_sub(1, Ordering::SeqCst);
+                let received = completed + 1;
+                batch_hits += usize::from(matches!(&outcome.0, Ok((_, true))));
+                // ETA from the mean *uncached* point time, scaled by this
+                // batch's observed miss rate — a mostly-cached batch
+                // predicts only its uncached tail, not `remaining × mean`.
+                let eta_ms = self
+                    .runner
+                    .progress()
+                    .mean_uncached_point_nanos()
+                    .map(|ns| {
+                        let remaining = (total - received) as f64;
+                        let miss_rate = (received - batch_hits) as f64 / received as f64;
+                        remaining * miss_rate * ns / 1e6 / self.runner.workers() as f64
+                    });
                 emit(ServiceResponse::Progress {
                     id: req.id.clone(),
-                    completed: completed + 1,
+                    completed: received,
                     total,
+                    eta_ms,
                 });
                 pending.insert(i, outcome);
                 while let Some((outcome, ms)) = pending.remove(&next) {
@@ -1335,6 +1563,12 @@ impl SweepService {
                         Ok((metrics, cache_hit)) => {
                             ok += 1;
                             hits += u64::from(cache_hit);
+                            self.metrics.point_completed(
+                                job.cache_key(),
+                                job.seed,
+                                cache_hit,
+                                ms,
+                            );
                             emit(ServiceResponse::Point {
                                 id: req.id.clone(),
                                 point: ManifestPoint {
@@ -1351,10 +1585,12 @@ impl SweepService {
                             let error = match failure {
                                 PointFailure::Failed(e) => {
                                     failed += 1;
+                                    self.metrics.point_failed();
                                     e
                                 }
                                 PointFailure::Cancelled => {
                                     cancelled += 1;
+                                    self.metrics.point_cancelled();
                                     "cancelled".to_string()
                                 }
                             };
@@ -1388,6 +1624,7 @@ impl SweepService {
             config_hash: RunManifest::combine_hashes(req.jobs.iter().map(SyntheticJob::cache_key)),
             wall_ms: started.elapsed().as_secs_f64() * 1e3,
         };
+        self.metrics.batch_done(summary.wall_ms);
         emit(ServiceResponse::Done {
             id: req.id.clone(),
             summary: summary.clone(),
@@ -1407,6 +1644,7 @@ const REQUEST_FIELDS: FieldTable = &[
     ("submit", "id, label?, priority?, jobs", "evaluate a batch of operating points (fields below)"),
     ("cancel", "id", "cancel the in-flight batch with that id; an unknown id arms the cancel for a later submit"),
     ("ping", "—", "liveness probe; answered with `pong`"),
+    ("stats", "—", "snapshot the engine's live metrics; answered with `stats`"),
     ("shutdown", "—", "ask the daemon to exit cleanly"),
 ];
 
@@ -1453,14 +1691,25 @@ const DONE_FIELDS: FieldTable = &[
 
 const EVENT_FIELDS: FieldTable = &[
     ("accepted", "id, points", "request parsed; `points` results will follow"),
-    ("progress", "id, completed, total", "a point finished somewhere in the batch (completion order)"),
+    ("progress", "id, completed, total, eta_ms?", "a point finished somewhere in the batch (completion order); `eta_ms` estimates time to batch completion from the mean uncached point time and the batch's hit rate, omitted until an uncached point has completed"),
     ("point", "see point table", "one evaluated operating point (strict index order)"),
     ("point_failed", "id, index, config_hash, seed, error", "one failed operating point (same ordering)"),
     ("done", "see done table", "batch finished; always the request's last event"),
     ("busy", "id, pending, limit", "batch rejected by backpressure; no `accepted`/`done` follows"),
     ("cancelled", "id, active", "answer to `cancel`; `active` is whether the batch was in flight"),
-    ("pong", "—", "answer to `ping`"),
+    ("pong", "uptime_ms, code_version, engine", "answer to `ping`; carries the engine's identity so clients detect version skew across a fleet"),
+    ("stats", "snapshot", "answer to `stats`: a versioned live-metrics snapshot (fields below)"),
     ("error", "id?, message", "request could not be parsed or served"),
+];
+
+const STATS_FIELDS: FieldTable = &[
+    ("schema", "number", "snapshot schema version (currently 1); clients must reject unknown versions"),
+    ("engine", "string", "`\"noc-serve\"` for a single daemon, `\"noc-fleet\"` for a fleet coordinator"),
+    ("code_version", "string", "the engine's code-version stamp (same format as cache records)"),
+    ("uptime_ms", "number", "milliseconds since the engine started"),
+    ("metrics", "object", "`counters` (name → hex count), `gauges` (name → hex f64 bit pattern), `histograms` (name → {count, sum_hi, sum_lo, min, max, buckets: [[lower, count]…]}, all hex)"),
+    ("slow_points", "array", "recent slow points, oldest first: `config_hash`/`seed` (hex), `duration_ms`, `mean_ms`, `factor`"),
+    ("shards", "array", "per-shard health (fleet only): `shard`, `socket`, `alive`, `engine`, `code_version`, `uptime_ms`"),
 ];
 
 const CACHE_RECORD_FIELDS: FieldTable = &[
@@ -1519,6 +1768,12 @@ pub fn schema_reference() -> String {
         &mut out,
     );
     render_table(
+        "`stats` snapshot",
+        ["Field", "Type", "Meaning"],
+        STATS_FIELDS,
+        &mut out,
+    );
+    render_table(
         "Cache record (segment line)",
         ["Field", "Type", "Meaning"],
         CACHE_RECORD_FIELDS,
@@ -1564,6 +1819,7 @@ mod tests {
     fn request_round_trips() {
         for req in [
             ServiceRequest::Ping,
+            ServiceRequest::Stats,
             ServiceRequest::Shutdown,
             ServiceRequest::Cancel {
                 id: "r9".to_string(),
@@ -1625,6 +1881,13 @@ mod tests {
                 id: "r".to_string(),
                 completed: 4,
                 total: 9,
+                eta_ms: None,
+            },
+            ServiceResponse::Progress {
+                id: "r".to_string(),
+                completed: 5,
+                total: 9,
+                eta_ms: Some(125.5),
             },
             ServiceResponse::Point {
                 id: "r".to_string(),
@@ -1659,7 +1922,19 @@ mod tests {
                 id: "r".to_string(),
                 active: true,
             },
-            ServiceResponse::Pong,
+            ServiceResponse::Pong {
+                uptime_ms: 1234.5,
+                code_version: code_version("quick"),
+                engine: "noc-serve".to_string(),
+            },
+            ServiceResponse::Stats {
+                snapshot: {
+                    let m = ServiceMetrics::new("noc-serve", &code_version("quick"));
+                    m.batch_admitted(3);
+                    m.point_completed(0xabc, 0xdef, false, 2.5);
+                    m.snapshot()
+                },
+            },
             ServiceResponse::Error {
                 id: None,
                 message: "bad request".to_string(),
@@ -1879,11 +2154,35 @@ mod tests {
             ServiceControl::Continue
         );
         assert_eq!(
+            service.handle_line("{\"type\":\"stats\"}", &mut emit),
+            ServiceControl::Continue
+        );
+        assert_eq!(
             service.handle_line("{\"type\":\"shutdown\"}", &mut emit),
             ServiceControl::Shutdown
         );
-        assert!(matches!(events[0], ServiceResponse::Pong));
+        let ServiceResponse::Pong {
+            code_version: ref ver,
+            ref engine,
+            uptime_ms,
+        } = events[0]
+        else {
+            panic!("ping answered with {:?}", events[0]);
+        };
+        assert_eq!(ver, &code_version("quick"));
+        assert_eq!(engine, "noc-serve");
+        assert!(uptime_ms >= 0.0);
         assert!(matches!(events[1], ServiceResponse::Error { .. }));
+        let ServiceResponse::Stats { ref snapshot } = events[2] else {
+            panic!("stats answered with {:?}", events[2]);
+        };
+        assert_eq!(snapshot.engine, "noc-serve");
+        assert_eq!(
+            snapshot.metrics.counter("noc_requests_total{verb=\"ping\"}"),
+            Some(1)
+        );
+        assert_eq!(snapshot.metrics.counter("noc_request_errors_total"), Some(1));
+        assert_eq!(snapshot.metrics.gauge("noc_queue_depth"), Some(0.0));
     }
 
     fn submit(id: &str, priority: i64) -> SubmitRequest {
@@ -1976,7 +2275,7 @@ mod tests {
             service.handle_line("{\"type\":\"ping\"}", &mut emit),
             ServiceControl::Continue
         );
-        assert!(matches!(events[0], ServiceResponse::Pong));
+        assert!(matches!(events[0], ServiceResponse::Pong { .. }));
         let summary = service
             .run_submit(&submit("p0", 0), &mut |_| {})
             .expect("admitted");

@@ -236,6 +236,14 @@ impl StreamingHistogram {
         self.total
     }
 
+    /// Exact sum of all observations (`u128`, so 2^64 observations of
+    /// `u64::MAX` cannot overflow). Exposed for telemetry snapshots that
+    /// must serialize and re-merge histograms without losing precision —
+    /// `mean() * count()` would round through `f64`.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
     /// Exact minimum observation, or `None` when empty.
     pub fn min(&self) -> Option<u64> {
         (self.total > 0).then_some(self.min)
