@@ -1,19 +1,30 @@
 //! Benchmarks the active-set cycle engine against the exhaustive sweep.
 //!
-//! Two scenarios bracket the design space:
+//! The scenarios bracket the design space:
 //!
-//! - `full_4x4`: every router of a 4x4 mesh busy under uniform traffic —
-//!   the active-set bookkeeping must not cost more than a few percent when
-//!   there is no idleness to exploit.
+//! - `full_4x4` / `full_16x16` / `full_32x32`: every router busy under
+//!   uniform traffic — no idleness to exploit, so these measure the
+//!   struct-of-arrays hot path (flat per-stage arrays, per-port phase
+//!   masks, allocation-free allocator bodies) against the
+//!   allocation-heavy oracle sweep. Rates sit at ~50-60% of the
+//!   uniform-random saturation knee (`2*B/N` flits/node/cycle for `B`
+//!   bisection links, i.e. 0.1 / 0.025 / 0.0125 flits for 4x4 / 16x16 /
+//!   32x32 at 5 flits per packet): the operating region a sweep actually
+//!   explores. Past the knee both engines grind through the same
+//!   saturated queues and the ratio collapses toward 1x, which says
+//!   nothing about the scheduler.
 //! - `sprint8_16x16` / `sprint32_16x16`: a small sprint region on a 16x16
 //!   mesh (8 or 32 of 256 routers powered) — the active set must scale
 //!   with the *busy* region, not the mesh, and win big.
 //!
 //! The vendored criterion shim has no CLI, so this bench owns its `main`:
 //! `--quick` shrinks samples/cycles for CI smoke, `--test` runs one tiny
-//! sample of everything, and `--json <path>` writes the measured baseline
-//! (see `BENCH_active_set.json` at the repo root). Unknown flags (cargo
-//! passes `--bench`) are ignored.
+//! sample of everything, `--json <path>` writes the measured baseline (see
+//! `BENCH_soa.json` at the repo root), `--validate-sets <N>` cross-checks
+//! the work-lists and SoA mirrors every N cycles while benchmarking, and
+//! `--min-full-speedup <x>` exits non-zero if any fully-lit case comes in
+//! below `x` (CI regression gate). Unknown flags (cargo passes `--bench`)
+//! are ignored.
 
 use std::time::{Duration, Instant};
 
@@ -34,6 +45,8 @@ struct Case {
     /// Sprint level (active routers); `None` = full mesh under XY routing.
     level: Option<usize>,
     rate: f64,
+    /// Fully-lit cases are the SoA hot path and carry the CI speedup gate.
+    fully_lit: bool,
 }
 
 const CASES: &[Case] = &[
@@ -41,19 +54,36 @@ const CASES: &[Case] = &[
         name: "full_4x4",
         mesh: (4, 4),
         level: None,
-        rate: 0.25,
+        rate: 0.05,
+        fully_lit: true,
+    },
+    Case {
+        name: "full_16x16",
+        mesh: (16, 16),
+        level: None,
+        rate: 0.015,
+        fully_lit: true,
+    },
+    Case {
+        name: "full_32x32",
+        mesh: (32, 32),
+        level: None,
+        rate: 0.0075,
+        fully_lit: true,
     },
     Case {
         name: "sprint32_16x16",
         mesh: (16, 16),
         level: Some(32),
         rate: 0.15,
+        fully_lit: false,
     },
     Case {
         name: "sprint8_16x16",
         mesh: (16, 16),
         level: Some(8),
         rate: 0.15,
+        fully_lit: false,
     },
 ];
 
@@ -89,8 +119,9 @@ fn build(case: &Case, engine: StepEngine) -> (Network, TrafficGen) {
     (net, traffic)
 }
 
-/// One timed run: `cycles` cycles of generate + step + drain.
-fn run_once(case: &Case, engine: StepEngine, cycles: u64) -> Duration {
+/// One timed run: `cycles` cycles of generate + step + drain, optionally
+/// cross-checking the work-lists/SoA mirrors every `validate_every` cycles.
+fn run_once(case: &Case, engine: StepEngine, cycles: u64, validate_every: Option<u64>) -> Duration {
     let (mut net, mut traffic) = build(case, engine);
     let start = Instant::now();
     for cycle in 0..cycles {
@@ -99,6 +130,11 @@ fn run_once(case: &Case, engine: StepEngine, cycles: u64) -> Duration {
         }
         net.step().unwrap();
         net.drain_ejections();
+        if let Some(every) = validate_every {
+            if every > 0 && cycle.is_multiple_of(every) {
+                net.validate_active_sets();
+            }
+        }
     }
     let elapsed = start.elapsed();
     black_box(net.in_flight());
@@ -106,15 +142,24 @@ fn run_once(case: &Case, engine: StepEngine, cycles: u64) -> Duration {
 }
 
 /// Mean wall time over `samples` runs, after one warmup run.
-fn sample(case: &Case, engine: StepEngine, samples: usize, cycles: u64) -> Duration {
-    run_once(case, engine, cycles);
-    let total: Duration = (0..samples).map(|_| run_once(case, engine, cycles)).sum();
+fn sample(
+    case: &Case,
+    engine: StepEngine,
+    samples: usize,
+    cycles: u64,
+    validate_every: Option<u64>,
+) -> Duration {
+    run_once(case, engine, cycles, validate_every);
+    let total: Duration = (0..samples)
+        .map(|_| run_once(case, engine, cycles, validate_every))
+        .sum();
     total / samples as u32
 }
 
 #[derive(Debug)]
 struct Row {
     name: &'static str,
+    fully_lit: bool,
     exhaustive_ns: f64,
     active_ns: f64,
 }
@@ -129,6 +174,8 @@ fn main() {
     let mut samples = 10usize;
     let mut cycles = 2_000u64;
     let mut json_path: Option<String> = None;
+    let mut validate_every: Option<u64> = None;
+    let mut min_full_speedup: Option<f64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -144,22 +191,40 @@ fn main() {
                 json_path = args.next();
                 assert!(json_path.is_some(), "--json requires a path");
             }
+            "--validate-sets" => {
+                let n = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--validate-sets requires a cycle count");
+                validate_every = Some(n);
+            }
+            "--min-full-speedup" => {
+                let x = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--min-full-speedup requires a number");
+                min_full_speedup = Some(x);
+            }
             // cargo passes --bench; tolerate any other harness flags.
             _ => {}
         }
     }
 
     println!("active_set engine comparison ({samples} samples x {cycles} cycles)");
+    if let Some(every) = validate_every {
+        println!("validating work-lists/SoA mirrors every {every} cycles");
+    }
     println!(
         "{:<18} {:>16} {:>16} {:>9}",
         "case", "exhaustive/cyc", "active-set/cyc", "speedup"
     );
     let mut rows = Vec::new();
     for case in CASES {
-        let ex = sample(case, StepEngine::ExhaustiveSweep, samples, cycles);
-        let ac = sample(case, StepEngine::ActiveSet, samples, cycles);
+        let ex = sample(case, StepEngine::ExhaustiveSweep, samples, cycles, validate_every);
+        let ac = sample(case, StepEngine::ActiveSet, samples, cycles, validate_every);
         let row = Row {
             name: case.name,
+            fully_lit: case.fully_lit,
             exhaustive_ns: ex.as_nanos() as f64 / cycles as f64,
             active_ns: ac.as_nanos() as f64 / cycles as f64,
         };
@@ -192,5 +257,23 @@ fn main() {
         out.push_str("  ]\n}\n");
         std::fs::write(&path, out).expect("write json baseline");
         println!("wrote {path}");
+    }
+
+    if let Some(floor) = min_full_speedup {
+        let mut failed = false;
+        for r in rows.iter().filter(|r| r.fully_lit) {
+            if r.speedup() < floor {
+                eprintln!(
+                    "FAIL: {} speedup {:.2}x below floor {floor}x",
+                    r.name,
+                    r.speedup()
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!("all fully-lit cases at or above {floor}x");
     }
 }

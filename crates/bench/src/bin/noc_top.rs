@@ -4,9 +4,10 @@
 //! Polls the `stats` wire verb (see `SERVICE.md`) on every target socket
 //! and renders one row per engine: throughput (from completed-counter
 //! deltas between polls), cache hit-rate, p50/p99 point latency, queue
-//! depth and in-flight points — plus per-shard health rows for fleet
-//! coordinators, recent slow points, and a version-skew warning when
-//! engines disagree on their code version.
+//! depth, in-flight points and the dominant simulator pipeline stage
+//! (from the `noc_sim_stage_busy_cycles` gauges) — plus per-shard health
+//! rows for fleet coordinators, recent slow points, and a version-skew
+//! warning when engines disagree on their code version.
 //!
 //! ```text
 //! noc_top SOCKET [SOCKET ...] [--interval SECS] [--once] [--json]
@@ -184,6 +185,24 @@ mod imp {
         }
     }
 
+    /// The dominant simulator pipeline stage — the one with the most busy
+    /// cycles across every run this engine has executed, read from the
+    /// `noc_sim_stage_busy_cycles{stage="..."}` gauges. `—` before any run.
+    fn dominant_stage(s: &StatsSnapshot) -> String {
+        const STAGES: [&str; 6] = ["credit", "link", "inject", "va", "sa", "eject"];
+        let mut best: Option<(&str, f64)> = None;
+        for stage in STAGES {
+            let v = s
+                .metrics
+                .gauge(&format!("noc_sim_stage_busy_cycles{{stage=\"{stage}\"}}"))
+                .unwrap_or(0.0);
+            if v > 0.0 && best.is_none_or(|(_, b)| v > b) {
+                best = Some((stage, v));
+            }
+        }
+        best.map_or_else(|| "—".to_string(), |(stage, _)| stage.to_string())
+    }
+
     /// Renders one dashboard frame; returns whether any target was down.
     fn render_frame(
         targets: &[PathBuf],
@@ -193,9 +212,9 @@ mod imp {
     ) -> bool {
         let mut any_down = false;
         println!(
-            "{:<28} {:>9} {:>8} {:>8} {:>8} {:>6} {:>8} {:>8} {:>6} {:>8} {:>5}",
+            "{:<28} {:>9} {:>8} {:>8} {:>8} {:>6} {:>8} {:>8} {:>6} {:>8} {:>5} {:>6}",
             "TARGET", "ENGINE", "UPTIME", "PTS", "PTS/S", "HIT%", "P50", "P99", "QUEUE", "INFLIGHT",
-            "SLOW"
+            "SLOW", "STAGE"
         );
         let mut versions: Vec<String> = Vec::new();
         let mut slow_lines: Vec<String> = Vec::new();
@@ -248,7 +267,7 @@ mod imp {
             let in_flight = s.metrics.gauge("noc_points_in_flight").unwrap_or(0.0);
             let slow = s.metrics.counter("noc_slow_points_total").unwrap_or(0);
             println!(
-                "{:<28} {:>9} {:>8} {:>8} {:>8} {:>6} {:>8} {:>8} {:>6} {:>8} {:>5}",
+                "{:<28} {:>9} {:>8} {:>8} {:>8} {:>6} {:>8} {:>8} {:>6} {:>8} {:>5} {:>6}",
                 name,
                 s.engine,
                 fmt_duration_ms(s.uptime_ms),
@@ -260,6 +279,7 @@ mod imp {
                 queue as u64,
                 in_flight as u64,
                 slow,
+                dominant_stage(s),
             );
             for sh in &s.shards {
                 let status = if sh.alive { "up" } else { "DOWN" };

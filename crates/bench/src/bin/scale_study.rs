@@ -1,19 +1,25 @@
-//! Scale study: NoC-sprinting on 64-core (8x8) and 256-core (16x16) chips.
+//! Scale study: NoC-sprinting from 64-core (8x8) up to 4096-core (64x64)
+//! chips.
 //!
 //! The paper evaluates a 16-core CMP; dark silicon only worsens with
 //! scaling ("the fraction ... is dropping exponentially with each
 //! generation"), so the mechanisms must hold on bigger meshes. This study
-//! re-runs the headline comparisons on an 8x8 chip by default, or a 16x16
-//! chip with `--mesh 16`:
+//! re-runs the headline comparisons on an 8x8 chip by default, or a bigger
+//! chip with `--mesh 16|32|64` (the 32x32 and 64x64 points ride the
+//! struct-of-arrays engine — a full sweep at those sizes was impractical on
+//! the old layout):
 //!
 //! - Fig. 3's trend (the chip model already showed 42% NoC share at 32
 //!   cores),
 //! - Fig. 9/10-style latency and power for intermediate sprint levels,
 //! - convexity/deadlock guarantees (already property-tested to 8x8).
 //!
-//! Usage: `scale_study [--mesh 8|16] [--quick]`. `--quick` trims the level
-//! sweep and uses the short simulation phases, suitable as a CI smoke of
-//! the 256-node path through the parallel runner.
+//! Usage: `scale_study [--mesh 8|16|32|64] [--quick] [--validate-sets N]`.
+//! `--quick` trims the level sweep and uses the short simulation phases,
+//! suitable as a CI smoke of the many-node path through the parallel
+//! runner. `--validate-sets N` re-checks the cycle engine's work-lists and
+//! struct-of-arrays mirrors against ground truth every N cycles of every
+//! run, aborting on divergence.
 
 use noc_bench::{banner, markdown_table, pct, reduction, watts, FigureHarness};
 use noc_sim::geometry::NodeId;
@@ -24,7 +30,7 @@ use noc_sprinting::controller::SprintController;
 use noc_sprinting::experiment::Experiment;
 use noc_sprinting::runner::{SyntheticBaseline, SyntheticJob};
 
-fn experiment(mesh: u16, quick: bool) -> Experiment {
+fn experiment(mesh: u16, quick: bool, validate_every: Option<u64>) -> Experiment {
     let mut e = Experiment::paper();
     e.system = SystemConfig {
         core_count: u32::from(mesh) * u32::from(mesh),
@@ -36,22 +42,24 @@ fn experiment(mesh: u16, quick: bool) -> Experiment {
     if quick {
         e.sim_config = SimConfig::quick();
     }
+    e.sim_config.validate_sets_every = validate_every;
     e
 }
 
 fn main() {
     let mut mesh = 8u16;
     let mut quick = false;
+    let mut validate_every: Option<u64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--mesh" => {
                 let raw = args.next();
                 mesh = match raw.as_deref().map(str::parse) {
-                    Some(Ok(m @ (8 | 16))) => m,
+                    Some(Ok(m @ (8 | 16 | 32 | 64))) => m,
                     _ => {
                         eprintln!(
-                            "--mesh must be 8 or 16, got {}",
+                            "--mesh must be 8, 16, 32 or 64, got {}",
                             raw.as_deref().map_or("nothing".to_string(), |v| format!("{v:?}"))
                         );
                         std::process::exit(2);
@@ -59,8 +67,21 @@ fn main() {
                 };
             }
             "--quick" => quick = true,
+            "--validate-sets" => {
+                let raw = args.next();
+                validate_every = match raw.as_deref().map(str::parse) {
+                    Some(Ok(n)) if n > 0 => Some(n),
+                    _ => {
+                        eprintln!("--validate-sets requires a positive cycle count");
+                        std::process::exit(2);
+                    }
+                };
+            }
             other => {
-                eprintln!("unknown argument {other}; usage: scale_study [--mesh 8|16] [--quick]");
+                eprintln!(
+                    "unknown argument {other}; usage: \
+                     scale_study [--mesh 8|16|32|64] [--quick] [--validate-sets N]"
+                );
                 std::process::exit(2);
             }
         }
@@ -74,7 +95,7 @@ fn main() {
             "the latency/power benefits grow with the dark fraction as chips scale"
         )
     );
-    let e = experiment(mesh, quick);
+    let e = experiment(mesh, quick, validate_every);
     assert!(e.system.is_consistent());
     let harness = FigureHarness::new();
     let rate = 0.15;
@@ -82,7 +103,11 @@ fn main() {
         (8, false) => vec![4, 8, 16, 32, 64],
         (8, true) => vec![4, 16, 64],
         (16, false) => vec![8, 16, 32, 64, 128, 256],
-        _ => vec![8, 64, 256],
+        (16, true) => vec![8, 64, 256],
+        (32, false) => vec![16, 64, 256, 1024],
+        (32, true) => vec![16, 256, 1024],
+        (64, false) => vec![64, 256, 1024, 4096],
+        _ => vec![64, 4096],
     };
     let jobs: Vec<SyntheticJob> = levels
         .iter()

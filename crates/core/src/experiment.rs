@@ -16,11 +16,14 @@ use noc_thermal::sprint::SprintThermalModel;
 use noc_workload::profile::BenchmarkProfile;
 use noc_workload::speedup::ExecutionModel;
 
+use std::sync::Arc;
+
 use crate::cdor::CdorRouting;
 use crate::config::SystemConfig;
 use crate::controller::{SprintController, SprintPolicy};
 use crate::floorplan::Floorplan;
 use crate::gating::GatingPlan;
+use crate::metrics::StageBusyTotals;
 use crate::sprint_topology::SprintSet;
 
 /// Network performance/power metrics of one simulated run.
@@ -68,6 +71,9 @@ pub struct Experiment {
     pub op: OperatingPoint,
     /// Simulation phases.
     pub sim_config: SimConfig,
+    /// Per-pipeline-stage busy-cycle totals, folded in after every network
+    /// run. Shared so the sweep service can export them as gauges.
+    pub stage_totals: Arc<StageBusyTotals>,
 }
 
 impl Experiment {
@@ -82,6 +88,7 @@ impl Experiment {
             sprint_thermal: SprintThermalModel::paper(),
             op: OperatingPoint::nominal(),
             sim_config: SimConfig::sweep(),
+            stage_totals: Arc::new(StageBusyTotals::new()),
         }
     }
 
@@ -283,6 +290,7 @@ impl Experiment {
         let traffic = TrafficGen::new(pattern, placement, rate, self.system.packet_len, seed)?;
         net.set_counting(false);
         let outcome = Simulation::new(net, traffic, self.sim_config).run()?;
+        self.stage_totals.record(&outcome.stage_cycles);
         let power = self.network_power_of(&outcome, powered_routers, powered_links);
         Ok(NetworkMetrics {
             avg_packet_latency: outcome.stats.avg_packet_latency(),
@@ -331,6 +339,7 @@ impl Experiment {
             traffic = traffic.with_bursts(b);
         }
         let outcome = Simulation::new(net, traffic, self.sim_config).run()?;
+        self.stage_totals.record(&outcome.stage_cycles);
         let power = self.network_power_reactive(&outcome);
         Ok(NetworkMetrics {
             avg_packet_latency: outcome.stats.avg_packet_latency(),
@@ -366,6 +375,7 @@ impl Experiment {
         let traffic = TrafficGen::new(pattern, placement, rate, self.system.packet_len, seed)?
             .with_bursts(bursts);
         let outcome = Simulation::new(net, traffic, self.sim_config).run()?;
+        self.stage_totals.record(&outcome.stage_cycles);
         let power = self.network_power_of(&outcome, powered_routers, powered_links);
         Ok(NetworkMetrics {
             avg_packet_latency: outcome.stats.avg_packet_latency(),

@@ -99,7 +99,7 @@ pub use gating::GatingPlan;
 pub use llc::LlcAgent;
 pub use metrics::{
     HistogramSnapshot, MetricsRegistry, MetricsSnapshot, ServiceMetrics, ShardHealth, SlowPoint,
-    StatsSnapshot,
+    StageBusyTotals, StatsSnapshot,
 };
 pub use runner::{
     ExperimentRunner, PointDetail, ResultCache, RunnerProgress, SyntheticBaseline, SyntheticJob,

@@ -25,6 +25,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+use noc_sim::network::StageCycles;
 use noc_sim::stats::StreamingHistogram;
 
 use crate::telemetry::JsonValue;
@@ -723,6 +724,64 @@ impl StatsSnapshot {
 }
 
 // ---------------------------------------------------------------------------
+// Per-pipeline-stage busy-cycle totals
+// ---------------------------------------------------------------------------
+
+/// Accumulated per-pipeline-stage busy-cycle totals across every simulation
+/// a component has run — the service-level aggregate of the per-run
+/// [`StageCycles`] counters. Shared (via `Arc`) between the experiment
+/// runner, which folds each finished run in, and the stats snapshot, which
+/// exposes the totals as `noc_sim_stage_busy_cycles{stage="..."}` gauges so
+/// `noc_top` can show which pipeline stage dominates the fleet's work.
+/// All operations are relaxed atomics — statistics, not synchronization.
+#[derive(Debug, Default)]
+pub struct StageBusyTotals {
+    credit: AtomicU64,
+    link: AtomicU64,
+    inject: AtomicU64,
+    va: AtomicU64,
+    sa: AtomicU64,
+    eject: AtomicU64,
+}
+
+impl StageBusyTotals {
+    /// All totals at zero.
+    pub fn new() -> StageBusyTotals {
+        StageBusyTotals::default()
+    }
+
+    /// Folds one finished run's per-stage busy-cycle counters in.
+    pub fn record(&self, sc: &StageCycles) {
+        self.credit.fetch_add(sc.credit, Ordering::Relaxed);
+        self.link.fetch_add(sc.link, Ordering::Relaxed);
+        self.inject.fetch_add(sc.inject, Ordering::Relaxed);
+        self.va.fetch_add(sc.va, Ordering::Relaxed);
+        self.sa.fetch_add(sc.sa, Ordering::Relaxed);
+        self.eject.fetch_add(sc.eject, Ordering::Relaxed);
+    }
+
+    /// The totals as `(stage label, busy cycles)` pairs, in pipeline order.
+    pub fn totals(&self) -> [(&'static str, u64); 6] {
+        [
+            ("credit", self.credit.load(Ordering::Relaxed)),
+            ("link", self.link.load(Ordering::Relaxed)),
+            ("inject", self.inject.load(Ordering::Relaxed)),
+            ("va", self.va.load(Ordering::Relaxed)),
+            ("sa", self.sa.load(Ordering::Relaxed)),
+            ("eject", self.eject.load(Ordering::Relaxed)),
+        ]
+    }
+
+    /// The stage with the most busy cycles, or `None` before any work.
+    pub fn dominant(&self) -> Option<(&'static str, u64)> {
+        self.totals()
+            .into_iter()
+            .max_by_key(|&(_, n)| n)
+            .filter(|&(_, n)| n > 0)
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Service metrics: the concrete instrument set
 // ---------------------------------------------------------------------------
 
@@ -1188,6 +1247,29 @@ mod tests {
         assert_eq!(g.get(), 2.5);
         g.set_max(7.25);
         assert_eq!(g.get(), 7.25);
+    }
+
+    #[test]
+    fn stage_busy_totals_accumulate_and_rank() {
+        let t = StageBusyTotals::new();
+        assert_eq!(t.dominant(), None);
+        t.record(&StageCycles {
+            credit: 5,
+            link: 9,
+            inject: 1,
+            va: 2,
+            sa: 10,
+            eject: 3,
+        });
+        t.record(&StageCycles {
+            sa: 7,
+            ..StageCycles::default()
+        });
+        assert_eq!(t.dominant(), Some(("sa", 17)));
+        let totals = t.totals();
+        assert_eq!(totals[0], ("credit", 5));
+        assert_eq!(totals[1], ("link", 9));
+        assert_eq!(totals[5], ("eject", 3));
     }
 
     #[test]

@@ -1380,6 +1380,10 @@ impl SweepService {
             reg.gauge("noc_worker_utilization")
                 .set((progress.busy.as_nanos() as f64 / capacity_ns).min(1.0));
         }
+        for (stage, cycles) in self.experiment.stage_totals.totals() {
+            reg.gauge(&format!("noc_sim_stage_busy_cycles{{stage=\"{stage}\"}}"))
+                .set(cycles as f64);
+        }
         self.metrics.snapshot()
     }
 
@@ -2133,6 +2137,39 @@ mod tests {
             assert_eq!(a.metrics, b.metrics, "cache hit must be bit-identical");
             assert!(!a.cache_hit);
             assert!(b.cache_hit);
+        }
+    }
+
+    #[test]
+    fn stats_snapshot_exports_stage_busy_gauges() {
+        let service = SweepService::new(
+            Experiment::quick(),
+            ExperimentRunner::with_workers(1),
+            DiskResultCache::in_memory(code_version("quick")),
+        );
+        // Before any run every stage gauge samples as zero.
+        let idle = service.stats_snapshot();
+        for stage in ["credit", "link", "inject", "va", "sa", "eject"] {
+            let name = format!("noc_sim_stage_busy_cycles{{stage=\"{stage}\"}}");
+            assert_eq!(idle.metrics.gauge(&name), Some(0.0), "{name}");
+        }
+        let req = SubmitRequest {
+            id: "stages".to_string(),
+            label: "stages".to_string(),
+            priority: 0,
+            jobs: sample_jobs(),
+        };
+        service
+            .run_submit(&req, &mut |_| {})
+            .expect("no queue limit configured");
+        // Any real run keeps the switch allocator and links busy.
+        let snap = service.stats_snapshot();
+        for stage in ["inject", "va", "sa", "link", "credit", "eject"] {
+            let name = format!("noc_sim_stage_busy_cycles{{stage=\"{stage}\"}}");
+            assert!(
+                snap.metrics.gauge(&name).unwrap_or(0.0) > 0.0,
+                "{name} should be positive after a run"
+            );
         }
     }
 

@@ -57,6 +57,7 @@ pub mod probe;
 pub mod router;
 pub mod routing;
 pub mod sim;
+pub mod soa;
 pub mod stats;
 pub mod sweep;
 pub mod topology;
@@ -70,7 +71,7 @@ pub use fault::{
     FaultEvent, FaultLog, FaultPlan, FaultState, FaultStats, RandomFaultConfig, ScheduledFault,
 };
 pub use geometry::{Coord, Direction, NodeId, Port};
-pub use network::{GatingMode, Network};
+pub use network::{GatingMode, Network, StageCycles};
 pub use probe::{
     EpochSample, EventCounts, LatencyObserver, Probe, SimPhase, TimeSeriesObserver,
 };

@@ -20,16 +20,26 @@
 //!   credits, busy NIs, and scheduled sleep checks — in ascending node
 //!   order. Work scales with *activity*, not mesh capacity, which is the
 //!   whole point of simulating dark silicon: a mostly-dark 16×16 mesh costs
-//!   little more than the sprinting region it actually exercises.
-//! * **Exhaustive sweep**: the original iterate-everything driver, kept as
-//!   a differential oracle.
+//!   little more than the sprinting region it actually exercises. Its
+//!   allocator bodies are allocation-free struct-of-arrays scans over the
+//!   [`crate::soa::VcStore`] masks, so even a *fully-lit* mesh streams
+//!   linearly through memory.
+//! * **Exhaustive sweep**: the original iterate-everything driver with the
+//!   original allocation-heavy per-node allocator bodies, kept as a
+//!   differential oracle.
 //!
-//! Both engines run identical per-node stage bodies, so they are
-//! bit-identical at every cycle (pinned by the equivalence suite), and the
-//! active-set bookkeeping is maintained under either engine, so switching
-//! mid-run is safe. When the network is quiescent, [`Network::quiescence`]
-//! and [`Network::skip_idle_cycles`] let callers fast-forward `now` to the
-//! next scheduled event without stepping through empty cycles.
+//! The two allocator formulations are provably the same arbitration
+//! (rotating priority is a cyclic scan; the proofs live on the fast bodies),
+//! so the engines are bit-identical at every cycle (pinned by the
+//! equivalence suite), and the active-set bookkeeping is maintained under
+//! either engine, so switching mid-run is safe. Link traversals and credit
+//! returns are batched per cycle: stage bodies append to pending buffers and
+//! one end-of-step flush lands them in the per-node queues — observation-
+//! equivalent because arrivals are strictly in the future and the flush
+//! preserves per-queue append order. When the network is quiescent,
+//! [`Network::quiescence`] and [`Network::skip_idle_cycles`] let callers
+//! fast-forward `now` to the next scheduled event without stepping through
+//! empty cycles.
 
 use std::collections::{BTreeSet, VecDeque};
 
@@ -40,6 +50,7 @@ use crate::packet::{Flit, Packet};
 use crate::probe::Probe;
 use crate::router::{Router, RouterActivity, RouterParams, SleepState};
 use crate::routing::{RouteDecision, RoutingFunction};
+use crate::soa::{VcPhase, VcStore, FREE_VC};
 use crate::topology::Mesh2D;
 use crate::vc::VcState;
 
@@ -76,6 +87,53 @@ struct TimedCredit {
     port: usize,
     vc: usize,
     arrive: u64,
+}
+
+/// A credit produced this cycle, awaiting the end-of-step flush into the
+/// per-node queues. `port == NI_PORT` addresses the local NI's credit queue
+/// instead of a router output port.
+#[derive(Debug, Clone, Copy)]
+struct PendingCredit {
+    node: u32,
+    port: u8,
+    vc: u8,
+    arrive: u64,
+}
+
+/// Sentinel port in [`PendingCredit`] for the NI credit queue.
+const NI_PORT: u8 = u8::MAX;
+
+/// A link flit sent this cycle, awaiting the end-of-step flush into the
+/// destination's `link_in` queue.
+#[derive(Debug, Clone)]
+struct PendingLink {
+    node: u32,
+    port: u8,
+    vc: u8,
+    arrive: u64,
+    flit: Flit,
+}
+
+/// Cycles in which each pipeline stage had non-empty work (at least one
+/// event), accumulated over the life of the network. The breakdown shows
+/// which stage dominates a hot run — a switch-allocation-bound mesh responds
+/// to different tuning than a link-delivery-bound one. Idle and
+/// fast-forwarded cycles contribute to no stage, and both engines produce
+/// identical counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageCycles {
+    /// Cycles with at least one credit delivered.
+    pub credit: u64,
+    /// Cycles with at least one link flit delivered (BW + RC).
+    pub link: u64,
+    /// Cycles with at least one NI injection.
+    pub inject: u64,
+    /// Cycles with at least one VC allocation granted.
+    pub va: u64,
+    /// Cycles with at least one switch grant (ST + LT).
+    pub sa: u64,
+    /// Cycles with at least one flit ejected to an NI.
+    pub eject: u64,
 }
 
 /// A flit delivered to its destination NI.
@@ -164,73 +222,65 @@ pub enum Quiescence {
     Indefinite,
 }
 
-/// A deduplicated, lazily-sorted work-list of node indices.
+/// A deduplicated work-list of node indices, stored as a bitmap and always
+/// visited in ascending node order — the canonical order that keeps the
+/// active-set engine bit-identical to the exhaustive sweep.
 ///
-/// `insert` is O(1) (a membership bitmap suppresses duplicates);
-/// `prepare` sorts pending insertions so iteration always runs in ascending
-/// node order — the canonical order that keeps the active-set engine
-/// bit-identical to the exhaustive sweep. `retain_visit` compacts in place,
-/// dropping nodes whose retention predicate fails.
+/// `insert` is an O(1) bit-set; iteration scans `len/64` words with
+/// `trailing_zeros`, so a near-empty set touches a few cache lines and a
+/// busy set needs no sort. (The previous vector-of-indices representation
+/// re-sorted the whole list every stage of every cycle once the mesh got
+/// busy — on a fully-lit 32x32 that sort dominated the engine's overhead.)
 #[derive(Debug, Clone, Default)]
 struct NodeSet {
-    /// Membership bitmap, one flag per node.
-    member: Vec<bool>,
-    /// Member node indices; sorted ascending unless `dirty`.
-    nodes: Vec<u32>,
-    /// Whether `nodes` has unsorted insertions.
-    dirty: bool,
+    /// Membership bitmap, one bit per node.
+    words: Vec<u64>,
 }
 
 impl NodeSet {
     fn new(len: usize) -> Self {
         NodeSet {
-            member: vec![false; len],
-            nodes: Vec::new(),
-            dirty: false,
+            words: vec![0; len.div_ceil(64)],
         }
     }
 
+    #[inline]
     fn insert(&mut self, node: usize) {
-        if !self.member[node] {
-            self.member[node] = true;
-            self.nodes.push(node as u32);
-            self.dirty = true;
-        }
+        self.words[node >> 6] |= 1u64 << (node & 63);
     }
 
+    #[inline]
     fn contains(&self, node: usize) -> bool {
-        self.member[node]
+        self.words[node >> 6] & (1u64 << (node & 63)) != 0
     }
 
-    /// Sorts pending insertions; must run before iteration.
-    fn prepare(&mut self) {
-        if self.dirty {
-            self.nodes.sort_unstable();
-            self.dirty = false;
-        }
-    }
-
-    /// Members in ascending order; only valid after [`NodeSet::prepare`].
-    fn as_slice(&self) -> &[u32] {
-        debug_assert!(!self.dirty, "iterating an unprepared NodeSet");
-        &self.nodes
-    }
-
-    /// Visits members in ascending order; `f` returns whether the node
-    /// stays in the set. Dropped nodes have their membership flag cleared.
-    fn retain_visit(&mut self, mut f: impl FnMut(usize) -> bool) {
-        debug_assert!(!self.dirty, "retain_visit on an unprepared NodeSet");
-        let mut kept = 0;
-        for i in 0..self.nodes.len() {
-            let node = self.nodes[i];
-            if f(node as usize) {
-                self.nodes[kept] = node;
-                kept += 1;
-            } else {
-                self.member[node as usize] = false;
+    /// Visits members in ascending node order (read-only iteration).
+    fn for_each(&self, mut f: impl FnMut(usize)) {
+        for (w, &word) in self.words.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                f((w << 6) | b);
             }
         }
-        self.nodes.truncate(kept);
+    }
+
+    /// Visits members in ascending node order; `f` returns whether the node
+    /// stays in the set. Each word is snapshotted before its visits and
+    /// drops clear single bits, so insertions `f` makes elsewhere in the
+    /// set survive untouched.
+    fn retain_visit(&mut self, mut f: impl FnMut(usize) -> bool) {
+        for w in 0..self.words.len() {
+            let mut bits = self.words[w];
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                if !f((w << 6) | b) {
+                    self.words[w] &= !(1u64 << b);
+                }
+            }
+        }
     }
 }
 
@@ -304,6 +354,8 @@ pub struct Network {
     mesh: Mesh2D,
     params: RouterParams,
     routers: Vec<Router>,
+    /// Struct-of-arrays storage for every router's pipeline state.
+    store: VcStore,
     nis: Vec<Ni>,
     /// Incoming flit queues per node and input port.
     link_in: Vec<Vec<VecDeque<TimedFlit>>>,
@@ -329,6 +381,15 @@ pub struct Network {
     engine: StepEngine,
     /// Whether [`Network::skip_idle_cycles`] may fast-forward `now`.
     fast_forward: bool,
+    /// Per-stage busy-cycle counters (see [`StageCycles`]).
+    stage_cycles: StageCycles,
+    /// Credits produced this cycle, flushed at end of step.
+    pending_credits: Vec<PendingCredit>,
+    /// Link flits sent this cycle, flushed at end of step.
+    pending_links: Vec<PendingLink>,
+    /// Per-node VA request scratch (`in_port * vcs + in_vc` → requested
+    /// output port, `u8::MAX` = none), reused across nodes and cycles.
+    va_scratch: Vec<u8>,
     now: u64,
 }
 
@@ -355,22 +416,20 @@ impl Network {
         routing: Box<dyn RoutingFunction>,
     ) -> Result<Self, SimError> {
         params.validate()?;
-        let routers = mesh
-            .nodes()
-            .map(|n| {
-                let mut connected = [true; Port::COUNT];
-                for port in Port::ALL {
-                    if let Some(dir) = port.direction() {
-                        connected[port.index()] = mesh.neighbor(n, dir).is_some();
-                    }
+        let store = VcStore::new(mesh.len(), &params, |n| {
+            let mut connected = [true; Port::COUNT];
+            for port in Port::ALL {
+                if let Some(dir) = port.direction() {
+                    connected[port.index()] = mesh.neighbor(NodeId(n), dir).is_some();
                 }
-                Router::new(params, connected)
-            })
-            .collect();
+            }
+            connected
+        });
         Ok(Network {
             mesh,
             params,
-            routers,
+            routers: vec![Router::new(); mesh.len()],
+            store,
             nis: (0..mesh.len()).map(|_| Ni::new(&params)).collect(),
             link_in: (0..mesh.len())
                 .map(|_| (0..Port::COUNT).map(|_| VecDeque::new()).collect())
@@ -385,6 +444,10 @@ impl Network {
             active: ActiveState::new(mesh.len()),
             engine: StepEngine::ActiveSet,
             fast_forward: true,
+            stage_cycles: StageCycles::default(),
+            pending_credits: Vec::new(),
+            pending_links: Vec::new(),
+            va_scratch: vec![u8::MAX; Port::COUNT * params.vcs_per_port],
             now: 0,
         })
     }
@@ -516,6 +579,32 @@ impl Network {
     /// Read access to a router (stats, tests).
     pub fn router(&self, node: NodeId) -> &Router {
         &self.routers[node.0]
+    }
+
+    /// Flits buffered in a router's input VCs. O(1): served from the
+    /// active-set occupancy counters.
+    pub fn buffered_flits(&self, node: NodeId) -> usize {
+        self.active.buffered[node.0] as usize
+    }
+
+    /// Credits available on an output VC (free downstream buffer slots).
+    pub fn credit_count(&self, node: NodeId, port: Port, vc: usize) -> u32 {
+        self.store.credits[self.store.vc_id(node.0, port.index(), vc)]
+    }
+
+    /// Whether an output VC is currently allocated to a packet.
+    pub fn output_allocated(&self, node: NodeId, port: Port, vc: usize) -> bool {
+        self.store.out_alloc[self.store.vc_id(node.0, port.index(), vc)] != FREE_VC
+    }
+
+    /// Logical state of an input VC.
+    pub fn vc_state(&self, node: NodeId, port: Port, vc: usize) -> VcState {
+        self.store.state(self.store.vc_id(node.0, port.index(), vc))
+    }
+
+    /// Per-stage busy-cycle counters accumulated since construction.
+    pub fn stage_cycles(&self) -> StageCycles {
+        self.stage_cycles
     }
 
     /// Powers routers on/off. `active[i]` corresponds to node `i`.
@@ -718,7 +807,64 @@ impl Network {
             let c = self.credit_in[node].len() + self.nis[node].credit_queue.len();
             assert_eq!(a.credit_pending[node] as usize, c, "credit_pending[{node}]");
             assert!(c == 0 || a.credit.contains(node), "credit set missing {node}");
-            let b = self.routers[node].buffered_flits();
+            let mut b = 0;
+            let mut allocated = 0;
+            let mut routed = 0;
+            let mut active = 0;
+            for port in 0..Port::COUNT {
+                let pid = self.store.port_id(node, port);
+                for vc in 0..self.params.vcs_per_port {
+                    let id = pid * self.params.vcs_per_port + vc;
+                    let occ = self.store.occupancy(id);
+                    b += occ;
+                    let bit = self.store.occ_mask[pid] & (1 << vc) != 0;
+                    assert_eq!(bit, occ > 0, "occ_mask bit for vc id {id}");
+                    let routed_bit = self.store.routed_mask[pid] & (1 << vc) != 0;
+                    assert_eq!(
+                        routed_bit,
+                        self.store.phase[id] == VcPhase::Routed,
+                        "routed_mask bit for vc id {id}"
+                    );
+                    let active_bit = self.store.active_mask[pid] & (1 << vc) != 0;
+                    assert_eq!(
+                        active_bit,
+                        self.store.phase[id] == VcPhase::Active,
+                        "active_mask bit for vc id {id}"
+                    );
+                    routed += u32::from(routed_bit);
+                    active += u32::from(active_bit);
+                    if let Some(front) = self.store.front(id) {
+                        assert_eq!(self.store.head_arrived[id], front.arrived, "head mirror {id}");
+                        assert_eq!(
+                            self.store.head_is_head[id],
+                            front.kind.is_head(),
+                            "head-kind mirror {id}"
+                        );
+                        assert_eq!(self.store.head_vnet[id], front.vnet, "vnet mirror {id}");
+                    }
+                    let holder = self.store.out_alloc[id];
+                    let alloc_bit = self.store.alloc_mask[pid] & (1 << vc) != 0;
+                    assert_eq!(alloc_bit, holder != FREE_VC, "alloc_mask bit for out id {id}");
+                    if holder != FREE_VC {
+                        allocated += 1;
+                        let holder = holder as usize;
+                        assert_eq!(
+                            self.store.state(holder),
+                            VcState::Active {
+                                out_port: Port::from_index(port),
+                                out_vc: vc,
+                            },
+                            "output VC {id} held by input VC {holder} not pointing back"
+                        );
+                    }
+                }
+            }
+            assert_eq!(
+                self.store.alloc_count[node] as usize, allocated,
+                "alloc_count[{node}]"
+            );
+            assert_eq!(self.store.routed_count[node], routed, "routed_count[{node}]");
+            assert_eq!(self.store.active_count[node], active, "active_count[{node}]");
             assert_eq!(a.buffered[node] as usize, b, "buffered[{node}]");
             assert!(b == 0 || a.router.contains(node), "router set missing {node}");
             let ni_busy = !self.nis[node].is_idle();
@@ -794,30 +940,87 @@ impl Network {
         self.update_sleep_states(now, probe.as_deref_mut());
 
         // Stage 0: deliver credits.
-        events += self.deliver_credits(now);
+        let credit_events = self.deliver_credits(now);
 
-        // Stage 1: deliver link flits (BW + RC).
-        events += self.deliver_flits(now, probe.as_deref_mut())?;
+        // Stage 1: deliver link flits (BW + RC). A dark-router contract
+        // violation aborts the cycle, but credits already produced (e.g. by
+        // dropping VCs) must still land in the queues.
+        let link_events = match self.deliver_flits(now, probe.as_deref_mut()) {
+            Ok(n) => n,
+            Err(e) => {
+                self.flush_pending();
+                return Err(e);
+            }
+        };
 
         // Stage 2: NI injection (BW + RC at the local port).
-        events += self.inject(now, probe.as_deref_mut());
+        let inject_events = self.inject(now, probe.as_deref_mut());
 
         // Stage 2b: re-route (or drop) packets parked on permanently dead
         // links. No-op without a fault plan.
         events += self.fault_reroute(now, probe.as_deref_mut());
 
         // Stage 3: VC allocation.
-        events += self.vc_allocate(now, probe.as_deref_mut());
+        let va_events = self.vc_allocate(now, probe.as_deref_mut());
 
         // Stage 4: switch allocation + traversal.
-        let ejections = {
-            let (granted, ejections) = self.switch_allocate(now, probe);
-            events += granted;
-            ejections
-        };
+        let (sa_events, ejections) = self.switch_allocate(now, probe);
+
+        // Land this cycle's link traversals and credit returns in the
+        // per-node queues (all arrivals are strictly in the future, so no
+        // stage this cycle could have observed them).
+        self.flush_pending();
+
+        let sc = &mut self.stage_cycles;
+        sc.credit += u64::from(credit_events > 0);
+        sc.link += u64::from(link_events > 0);
+        sc.inject += u64::from(inject_events > 0);
+        sc.va += u64::from(va_events > 0);
+        sc.sa += u64::from(sa_events > 0);
+        sc.eject += u64::from(ejections > 0);
+        events += credit_events + link_events + inject_events + va_events + sa_events;
 
         self.now += 1;
         Ok(StepReport { events, ejections })
+    }
+
+    /// Flushes the cycle's batched link traversals and credit returns into
+    /// the per-node queues, updating the in-flight counters and work-lists.
+    /// Append order within each queue matches the order the stage bodies
+    /// produced the entries, which both engines generate identically.
+    fn flush_pending(&mut self) {
+        let mut credits = std::mem::take(&mut self.pending_credits);
+        for pc in credits.drain(..) {
+            let node = pc.node as usize;
+            if pc.port == NI_PORT {
+                self.nis[node]
+                    .credit_queue
+                    .push_back((pc.arrive, pc.vc as usize));
+            } else {
+                self.credit_in[node].push_back(TimedCredit {
+                    port: pc.port as usize,
+                    vc: pc.vc as usize,
+                    arrive: pc.arrive,
+                });
+            }
+            self.active.credit_pending[node] += 1;
+            self.active.total_credits += 1;
+            self.active.credit.insert(node);
+        }
+        self.pending_credits = credits;
+        let mut links = std::mem::take(&mut self.pending_links);
+        for pl in links.drain(..) {
+            let node = pl.node as usize;
+            self.link_in[node][pl.port as usize].push_back(TimedFlit {
+                flit: pl.flit,
+                vc: pl.vc as usize,
+                arrive: pl.arrive,
+            });
+            self.active.link_pending[node] += 1;
+            self.active.total_links += 1;
+            self.active.link.insert(node);
+        }
+        self.pending_links = links;
     }
 
     /// Emits scheduled fault transitions whose cycle has come, in schedule
@@ -899,7 +1102,11 @@ impl Network {
                 self.arm_sleep_event(node, ready_at);
             }
             SleepState::On => {
-                if !r.holds_state() && now.saturating_sub(r.last_activity) >= idle_threshold {
+                // A router holding buffered flits or output-VC allocations
+                // must stay awake; both are O(1) counter reads.
+                let holds_state =
+                    self.active.buffered[node] > 0 || self.store.alloc_count[node] > 0;
+                if !holds_state && now.saturating_sub(r.last_activity) >= idle_threshold {
                     self.fall_asleep(node, now, probe);
                 } else {
                     // Not yet idle long enough (or blocked holding state):
@@ -1046,7 +1253,6 @@ impl Network {
         match self.engine {
             StepEngine::ActiveSet => {
                 let mut set = std::mem::take(&mut self.active.credit);
-                set.prepare();
                 set.retain_visit(|node| {
                     events += self.deliver_credits_at(node, now);
                     self.active.credit_pending[node] > 0
@@ -1071,10 +1277,10 @@ impl Network {
                 break;
             }
             let c = self.credit_in[node].pop_front().expect("checked front");
-            self.routers[node].outputs[c.port].credits[c.vc] += 1;
+            let out_id = self.store.vc_id(node, c.port, c.vc);
+            self.store.credits[out_id] += 1;
             debug_assert!(
-                self.routers[node].outputs[c.port].credits[c.vc]
-                    <= self.params.buffer_depth as u32,
+                self.store.credits[out_id] <= self.params.buffer_depth as u32,
                 "credit overflow at node {node} port {} vc {}",
                 c.port,
                 c.vc
@@ -1111,7 +1317,6 @@ impl Network {
                 // after the offender are retained untouched.
                 let mut err = None;
                 let mut set = std::mem::take(&mut self.active.link);
-                set.prepare();
                 set.retain_visit(|node| {
                     if err.is_none() {
                         match self.deliver_flits_at(node, now, probe.as_deref_mut()) {
@@ -1203,30 +1408,30 @@ impl Network {
         );
         flit.arrived = now;
         self.routers[node].last_activity = now;
-        if self.routers[node].input_mut(port, vc).state == VcState::Dropping {
+        let id = self.store.vc_id(node, port.index(), vc);
+        if self.store.phase[id] == VcPhase::Dropping {
             debug_assert!(!flit.kind.is_head(), "head flit arrived on a dropping VC");
             self.fault_stats.flits_dropped += 1;
             if flit.kind.is_tail() {
-                self.routers[node].input_mut(port, vc).state = VcState::Idle;
+                self.store.set_phase(id, VcPhase::Idle);
             }
             self.return_credit(node, port, vc, now);
             return;
         }
-        let channel = self.routers[node].input_mut(port, vc);
         debug_assert!(
-            channel.occupancy() < self.params.buffer_depth,
+            self.store.occupancy(id) < self.params.buffer_depth,
             "buffer overflow at node {node} {port} vc {vc}: credit protocol violated"
         );
-        let was_empty = channel.occupancy() == 0;
+        let was_empty = self.store.occupancy(id) == 0;
         let is_head = flit.kind.is_head();
-        channel.buffer.push_back(flit);
+        self.store.push_flit(id, flit);
         self.active.buffered[node] += 1;
         self.active.total_buffered += 1;
         self.active.router.insert(node);
-        if was_empty && is_head && channel.state == VcState::Idle {
+        if was_empty && is_head && self.store.phase[id] == VcPhase::Idle {
             self.resolve_route(node, port, vc, now, probe);
         }
-        if router_counting(&self.routers[node]) {
+        if self.routers[node].counting {
             self.routers[node].activity.buffer_writes += 1;
         }
     }
@@ -1269,10 +1474,11 @@ impl Network {
         now: u64,
         mut probe: Option<&mut (dyn Probe + '_)>,
     ) {
+        let id = self.store.vc_id(node, port.index(), vc);
         loop {
-            let dst = match self.routers[node].input_mut(port, vc).head() {
+            let dst = match self.store.front(id) {
                 None => {
-                    self.routers[node].input_mut(port, vc).state = VcState::Idle;
+                    self.store.set_phase(id, VcPhase::Idle);
                     return;
                 }
                 Some(head) => {
@@ -1286,11 +1492,10 @@ impl Network {
             match self.compute_route(node, dst, now) {
                 RouteDecision::Forward(out_port) => {
                     debug_assert!(
-                        self.routers[node].outputs[out_port.index()].connected,
+                        self.store.connected[self.store.port_id(node, out_port.index())],
                         "routing chose unconnected port {out_port} at node {node}"
                     );
-                    self.routers[node].input_mut(port, vc).state =
-                        VcState::RouteComputed { out_port };
+                    self.store.set_state(id, VcState::RouteComputed { out_port });
                     return;
                 }
                 RouteDecision::Drop => {
@@ -1316,10 +1521,11 @@ impl Network {
         now: u64,
         probe: Option<&mut (dyn Probe + '_)>,
     ) -> bool {
+        let id = self.store.vc_id(node, port.index(), vc);
         let (packet, measured) = {
-            let head = self.routers[node]
-                .input_mut(port, vc)
-                .head()
+            let head = self
+                .store
+                .front(id)
                 .expect("drop target has a buffered head flit");
             debug_assert!(head.kind.is_head());
             (head.packet, head.measured)
@@ -1339,10 +1545,10 @@ impl Network {
             );
         }
         loop {
-            let flit = match self.routers[node].input_mut(port, vc).buffer.pop_front() {
+            let flit = match self.store.pop_flit(id) {
                 Some(f) => f,
                 None => {
-                    self.routers[node].input_mut(port, vc).state = VcState::Dropping;
+                    self.store.set_phase(id, VcPhase::Dropping);
                     return false;
                 }
             };
@@ -1351,7 +1557,7 @@ impl Network {
             self.fault_stats.flits_dropped += 1;
             self.return_credit(node, port, vc, now);
             if flit.kind.is_tail() {
-                self.routers[node].input_mut(port, vc).state = VcState::Idle;
+                self.store.set_phase(id, VcPhase::Idle);
                 return true;
             }
         }
@@ -1372,11 +1578,10 @@ impl Network {
                 // Parked packets have buffered head flits, so the router
                 // work-list covers every candidate. Read-only iteration:
                 // the body never inserts into the router set.
-                let mut set = std::mem::take(&mut self.active.router);
-                set.prepare();
-                for &node in set.as_slice() {
-                    actions += self.fault_reroute_at(node as usize, now, probe.as_deref_mut());
-                }
+                let set = std::mem::take(&mut self.active.router);
+                set.for_each(|node| {
+                    actions += self.fault_reroute_at(node, now, probe.as_deref_mut());
+                });
                 self.active.router = set;
             }
             StepEngine::ExhaustiveSweep => {
@@ -1403,8 +1608,9 @@ impl Network {
         {
             for in_port in 0..Port::COUNT {
                 for in_vc in 0..self.params.vcs_per_port {
+                    let id = self.store.vc_id(node, in_port, in_vc);
                     let (out_port, held_vc) = {
-                        match self.routers[node].inputs[in_port][in_vc].state {
+                        match self.store.state(id) {
                             VcState::RouteComputed { out_port } => (out_port, None),
                             VcState::Active { out_port, out_vc } => (out_port, Some(out_vc)),
                             VcState::Idle | VcState::Dropping => continue,
@@ -1412,7 +1618,7 @@ impl Network {
                     };
                     let Port::Dir(d) = out_port else { continue };
                     let (packet, dst, is_head) = {
-                        let Some(front) = self.routers[node].inputs[in_port][in_vc].head() else {
+                        let Some(front) = self.store.front(id) else {
                             continue;
                         };
                         (front.packet, front.dst, front.kind.is_head())
@@ -1435,13 +1641,14 @@ impl Network {
                     // Release any output VC the packet holds; nothing has
                     // crossed yet, so this is safe.
                     if let Some(out_vc) = held_vc {
-                        self.routers[node].outputs[out_port.index()].alloc[out_vc] = None;
+                        let out_id = self.store.vc_id(node, out_port.index(), out_vc);
+                        self.store.free_out(node, out_id);
                     }
                     match self.compute_route(node, dst, now) {
                         RouteDecision::Forward(new_port) => {
                             debug_assert_ne!(new_port, out_port, "rerouted onto the dead link");
-                            self.routers[node].input_mut(port, in_vc).state =
-                                VcState::RouteComputed { out_port: new_port };
+                            self.store
+                                .set_state(id, VcState::RouteComputed { out_port: new_port });
                             self.fault_stats.reroutes += 1;
                             if let Some(p) = probe.as_deref_mut() {
                                 p.on_fault(
@@ -1469,31 +1676,37 @@ impl Network {
 
     /// Returns one credit upstream for a flit that left (or was dropped
     /// from) the input VC `(port, vc)` at `node`.
+    ///
+    /// Credits are *staged* in [`Network::pending_credits`] and landed in
+    /// the upstream queues by [`Network::flush_pending`] at the end of the
+    /// step: arrivals are strictly in the future (stage 1 already ran), so
+    /// batching is unobservable, and it keeps the allocator loops free of
+    /// scattered queue pushes.
     fn return_credit(&mut self, node: usize, port: Port, vc: usize, now: u64) {
+        let arrive = now + self.params.credit_delay;
+        let vc = vc as u8;
         match port {
             Port::Local => {
-                self.nis[node]
-                    .credit_queue
-                    .push_back((now + self.params.credit_delay, vc));
-                self.active.credit_pending[node] += 1;
-                self.active.credit.insert(node);
+                self.pending_credits.push(PendingCredit {
+                    node: node as u32,
+                    port: NI_PORT,
+                    vc,
+                    arrive,
+                });
             }
             Port::Dir(d) => {
                 let upstream = self
                     .mesh
                     .neighbor(NodeId(node), d)
                     .expect("flit entered through an edge port");
-                let up_out_port = Port::Dir(d.opposite()).index();
-                self.credit_in[upstream.0].push_back(TimedCredit {
-                    port: up_out_port,
+                self.pending_credits.push(PendingCredit {
+                    node: upstream.0 as u32,
+                    port: Port::Dir(d.opposite()).index() as u8,
                     vc,
-                    arrive: now + self.params.credit_delay,
+                    arrive,
                 });
-                self.active.credit_pending[upstream.0] += 1;
-                self.active.credit.insert(upstream.0);
             }
         }
-        self.active.total_credits += 1;
     }
 
     fn inject(&mut self, now: u64, mut probe: Option<&mut (dyn Probe + '_)>) -> usize {
@@ -1501,7 +1714,6 @@ impl Network {
         match self.engine {
             StepEngine::ActiveSet => {
                 let mut set = std::mem::take(&mut self.active.ni);
-                set.prepare();
                 set.retain_visit(|node| {
                     events += self.inject_at(node, now, probe.as_deref_mut());
                     !self.nis[node].is_idle()
@@ -1584,6 +1796,40 @@ impl Network {
         events
     }
 
+    /// Commits one VC-allocation grant: marks the output VC held by
+    /// `(in_port, in_vc)`, flips the input VC to `Active`, and bumps the
+    /// activity counter / probe. Shared by the oracle and fast VA bodies so
+    /// the observable mutation is identical by construction.
+    #[allow(clippy::too_many_arguments)]
+    fn grant_vc(
+        &mut self,
+        node: usize,
+        in_port: usize,
+        in_vc: usize,
+        out_idx: usize,
+        out_vc: usize,
+        now: u64,
+        probe: Option<&mut (dyn Probe + '_)>,
+    ) {
+        let id = self.store.vc_id(node, in_port, in_vc);
+        let out_id = self.store.vc_id(node, out_idx, out_vc);
+        self.store.alloc_out(node, out_id, id as u32);
+        self.store.set_state(
+            id,
+            VcState::Active {
+                out_port: Port::from_index(out_idx),
+                out_vc,
+            },
+        );
+        let router = &mut self.routers[node];
+        if router.counting {
+            router.activity.vc_allocations += 1;
+        }
+        if let Some(p) = probe {
+            p.on_vc_alloc(now, NodeId(node));
+        }
+    }
+
     fn vc_allocate(&mut self, now: u64, mut probe: Option<&mut (dyn Probe + '_)>) -> usize {
         let mut grants = 0;
         match self.engine {
@@ -1591,11 +1837,10 @@ impl Network {
                 // VA requests need a buffered head flit, so the router
                 // work-list covers every requester. Read-only iteration:
                 // granting touches VC/alloc state, never buffer occupancy.
-                let mut set = std::mem::take(&mut self.active.router);
-                set.prepare();
-                for &node in set.as_slice() {
-                    grants += self.vc_allocate_at(node as usize, now, probe.as_deref_mut());
-                }
+                let set = std::mem::take(&mut self.active.router);
+                set.for_each(|node| {
+                    grants += self.vc_allocate_at_fast(node, now, probe.as_deref_mut());
+                });
                 self.active.router = set;
             }
             StepEngine::ExhaustiveSweep => {
@@ -1607,8 +1852,11 @@ impl Network {
         grants
     }
 
-    /// Stage-3 body for one node: separable VC allocation with rotating
-    /// priority per output port.
+    /// Stage-3 oracle body for one node: separable VC allocation with
+    /// rotating priority per output port, written the allocation-heavy
+    /// reference way (gather → filter → sort by rotated distance). The
+    /// differential suite pins [`Network::vc_allocate_at_fast`] against it
+    /// cycle for cycle.
     fn vc_allocate_at(
         &mut self,
         node: usize,
@@ -1624,22 +1872,19 @@ impl Network {
         {
             // Gather requests: (priority id, in_port, in_vc, out_port).
             let mut requests: Vec<(usize, usize, usize, usize)> = Vec::new();
-            {
-                let router = &self.routers[node];
-                for in_port in 0..Port::COUNT {
-                    for in_vc in 0..vcs {
-                        let ch = &router.inputs[in_port][in_vc];
-                        if let VcState::RouteComputed { out_port } = ch.state {
-                            if let Some(head) = ch.head() {
-                                debug_assert!(head.kind.is_head());
-                                if head.arrived + self.params.va_delay <= now {
-                                    requests.push((
-                                        in_port * vcs + in_vc,
-                                        in_port,
-                                        in_vc,
-                                        out_port.index(),
-                                    ));
-                                }
+            for in_port in 0..Port::COUNT {
+                for in_vc in 0..vcs {
+                    let id = self.store.vc_id(node, in_port, in_vc);
+                    if let VcState::RouteComputed { out_port } = self.store.state(id) {
+                        if let Some(head) = self.store.front(id) {
+                            debug_assert!(head.kind.is_head());
+                            if head.arrived + self.params.va_delay <= now {
+                                requests.push((
+                                    in_port * vcs + in_vc,
+                                    in_port,
+                                    in_vc,
+                                    out_port.index(),
+                                ));
                             }
                         }
                     }
@@ -1649,7 +1894,8 @@ impl Network {
                 return 0;
             }
             for out_idx in 0..Port::COUNT {
-                let ptr = self.routers[node].va_rr[out_idx];
+                let out_pid = self.store.port_id(node, out_idx);
+                let ptr = self.store.va_rr[out_pid] as usize;
                 let mut reqs: Vec<&(usize, usize, usize, usize)> = requests
                     .iter()
                     .filter(|(_, _, _, o)| *o == out_idx)
@@ -1664,37 +1910,99 @@ impl Network {
                     // Grant a free output VC from the packet's own vnet
                     // partition — vnets never share VCs, which is what
                     // breaks request/response protocol-deadlock cycles.
-                    let vnet = self.routers[node].inputs[in_port][in_vc]
-                        .head()
+                    let vnet = self
+                        .store
+                        .front(self.store.vc_id(node, in_port, in_vc))
                         .expect("VA requester has a buffered head flit")
                         .vnet;
                     let range = self.params.vnet_vcs(vnet);
-                    let out_vc = {
-                        let out = &self.routers[node].outputs[out_idx];
-                        range.clone().find(|&v| out.alloc[v].is_none())
-                    };
+                    let out_vc = range
+                        .clone()
+                        .find(|&v| self.store.out_alloc[out_pid * vcs + v] == FREE_VC);
                     let Some(out_vc) = out_vc else { continue };
-                    let router = &mut self.routers[node];
-                    router.outputs[out_idx].alloc[out_vc] =
-                        Some((Port::from_index(in_port), in_vc));
-                    router.inputs[in_port][in_vc].state = VcState::Active {
-                        out_port: Port::from_index(out_idx),
-                        out_vc,
-                    };
-                    if router.counting {
-                        router.activity.vc_allocations += 1;
-                    }
-                    if let Some(p) = probe.as_deref_mut() {
-                        p.on_vc_alloc(now, NodeId(node));
-                    }
+                    self.grant_vc(node, in_port, in_vc, out_idx, out_vc, now, probe.as_deref_mut());
                     last_granted_id = Some(id);
                     grants += 1;
                 }
                 if let Some(id) = last_granted_id {
-                    self.routers[node].va_rr[out_idx] = (id + 1) % id_space;
+                    self.store.va_rr[out_pid] = ((id + 1) % id_space) as u32;
                 }
             }
         }
+        grants
+    }
+
+    /// Stage-3 fast body for one node: the same separable rotating-priority
+    /// allocator as [`Network::vc_allocate_at`], restructured to stream over
+    /// the SoA arrays without allocating.
+    ///
+    /// Equivalence argument: each input VC requests at most one output port,
+    /// so the ids in the oracle's per-output request list are unique and its
+    /// stable sort by rotated distance `(id - ptr) mod id_space` yields the
+    /// same visit order as scanning ids in rotated ascending order from
+    /// `ptr` — which is what the scan below does, skipping non-requesters
+    /// via the scratch table.
+    fn vc_allocate_at_fast(
+        &mut self,
+        node: usize,
+        now: u64,
+        mut probe: Option<&mut (dyn Probe + '_)>,
+    ) -> usize {
+        let vcs = self.store.vcs();
+        let id_space = Port::COUNT * vcs;
+        // O(1) early-out: no VC on this node awaits a VC grant.
+        if self.store.routed_count[node] == 0 {
+            return 0;
+        }
+        if !self.routers[node].is_operational() || self.frozen(node, now) {
+            return 0;
+        }
+        // Fill the request scratch: local id -> requested out port index
+        // (u8::MAX = no request). A requester is Routed *and* occupied
+        // (`routed & occ`), so a port with none costs two mask loads.
+        let mut any = false;
+        for in_port in 0..Port::COUNT {
+            let in_pid = self.store.port_id(node, in_port);
+            let mut mask = self.store.routed_mask[in_pid] & self.store.occ_mask[in_pid];
+            while mask != 0 {
+                let in_vc = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                let id = in_pid * vcs + in_vc;
+                if self.store.head_arrived[id] + self.params.va_delay <= now {
+                    self.va_scratch[in_port * vcs + in_vc] = self.store.route_port[id];
+                    any = true;
+                }
+            }
+        }
+        if !any {
+            return 0;
+        }
+        let mut grants = 0;
+        for out_idx in 0..Port::COUNT {
+            let out_pid = self.store.port_id(node, out_idx);
+            let ptr = self.store.va_rr[out_pid] as usize;
+            let mut last_granted = None;
+            for k in 0..id_space {
+                let local = (ptr + k) % id_space;
+                if self.va_scratch[local] != out_idx as u8 {
+                    continue;
+                }
+                let (in_port, in_vc) = (local / vcs, local % vcs);
+                let id = self.store.vc_id(node, in_port, in_vc);
+                let range = self.params.vnet_vcs(self.store.head_vnet[id]);
+                let Some(out_vc) = self.store.first_free_out_vc(out_pid, range) else {
+                    continue;
+                };
+                self.grant_vc(node, in_port, in_vc, out_idx, out_vc, now, probe.as_deref_mut());
+                last_granted = Some(local);
+                grants += 1;
+            }
+            if let Some(local) = last_granted {
+                self.store.va_rr[out_pid] = ((local + 1) % id_space) as u32;
+            }
+        }
+        // Clear only this node's scratch (at most id_space bytes).
+        self.va_scratch[..id_space].fill(u8::MAX);
         grants
     }
 
@@ -1708,9 +2016,8 @@ impl Network {
                 // inserts into the *link* and *credit* sets (other
                 // work-lists), never back into this one.
                 let mut set = std::mem::take(&mut self.active.router);
-                set.prepare();
                 set.retain_visit(|node| {
-                    let (g, e) = self.switch_allocate_at(node, now, probe.as_deref_mut());
+                    let (g, e) = self.switch_allocate_at_fast(node, now, probe.as_deref_mut());
                     grants += g;
                     ejections += e;
                     self.active.buffered[node] > 0
@@ -1728,8 +2035,32 @@ impl Network {
         (grants, ejections)
     }
 
-    /// Stage-4 body for one node: two-stage switch allocation (input then
-    /// output arbitration) followed by switch/link traversal of winners.
+    /// Whether SA may send this flit toward `out_port` under the current
+    /// fault set: a *head* flit may not start crossing a faulted link or
+    /// enter a frozen router, while body and tail flits always pass —
+    /// packets mid-crossing complete, keeping faults fail-stop at packet
+    /// granularity (no wormhole truncation).
+    #[inline]
+    fn sa_fault_ok(&self, node: usize, is_head: bool, out_port: Port, now: u64) -> bool {
+        if !is_head {
+            return true;
+        }
+        if let (Port::Dir(d), Some(fs)) = (out_port, self.faults.as_ref()) {
+            let next = self
+                .mesh
+                .neighbor(NodeId(node), d)
+                .expect("routed off the mesh");
+            if fs.link_faulted(node, next.0, now) || fs.router_frozen(next.0, now) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Stage-4 oracle body for one node: two-stage switch allocation (input
+    /// then output arbitration) followed by switch/link traversal of
+    /// winners, written the reference min-rank way. The differential suite
+    /// pins [`Network::switch_allocate_at_fast`] against it cycle for cycle.
     fn switch_allocate_at(
         &mut self,
         node: usize,
@@ -1745,59 +2076,42 @@ impl Network {
         {
             // SA stage 1: one candidate VC per input port.
             let mut stage1: Vec<(usize, usize, Port, usize)> = Vec::new(); // (in_port, in_vc, out_port, out_vc)
-            {
-                let router = &self.routers[node];
-                for in_port in 0..Port::COUNT {
-                    let ptr = router.sa_in_rr[in_port];
-                    let mut best: Option<(usize, usize, Port, usize)> = None;
-                    let mut best_rank = usize::MAX;
-                    for in_vc in 0..vcs {
-                        let ch = &router.inputs[in_port][in_vc];
-                        let VcState::Active { out_port, out_vc } = ch.state else {
-                            continue;
-                        };
-                        let Some(head) = ch.head() else { continue };
-                        if head.arrived + self.params.sa_delay > now {
-                            continue;
-                        }
-                        // Ejection has an ideal sink: no credit check.
-                        if out_port != Port::Local
-                            && router.outputs[out_port.index()].credits[out_vc] == 0
-                        {
-                            continue;
-                        }
-                        // Fault gating: a *head* flit may not start crossing
-                        // a faulted link or enter a frozen router. Body and
-                        // tail flits always pass — packets mid-crossing
-                        // complete, keeping faults fail-stop at packet
-                        // granularity (no wormhole truncation).
-                        if head.kind.is_head() {
-                            if let (Port::Dir(d), Some(fs)) = (out_port, self.faults.as_ref()) {
-                                let next = self
-                                    .mesh
-                                    .neighbor(NodeId(node), d)
-                                    .expect("routed off the mesh");
-                                if fs.link_faulted(node, next.0, now)
-                                    || fs.router_frozen(next.0, now)
-                                {
-                                    continue;
-                                }
-                            }
-                        }
-                        let rank = (in_vc + vcs - ptr) % vcs;
-                        if rank < best_rank {
-                            best_rank = rank;
-                            best = Some((in_port, in_vc, out_port, out_vc));
-                        }
+            for in_port in 0..Port::COUNT {
+                let ptr = self.store.sa_in_rr[self.store.port_id(node, in_port)] as usize;
+                let mut best: Option<(usize, usize, Port, usize)> = None;
+                let mut best_rank = usize::MAX;
+                for in_vc in 0..vcs {
+                    let id = self.store.vc_id(node, in_port, in_vc);
+                    let VcState::Active { out_port, out_vc } = self.store.state(id) else {
+                        continue;
+                    };
+                    let Some(head) = self.store.front(id) else { continue };
+                    if head.arrived + self.params.sa_delay > now {
+                        continue;
                     }
-                    if let Some(c) = best {
-                        stage1.push(c);
+                    // Ejection has an ideal sink: no credit check.
+                    if out_port != Port::Local
+                        && self.store.credits[self.store.vc_id(node, out_port.index(), out_vc)]
+                            == 0
+                    {
+                        continue;
                     }
+                    if !self.sa_fault_ok(node, head.kind.is_head(), out_port, now) {
+                        continue;
+                    }
+                    let rank = (in_vc + vcs - ptr) % vcs;
+                    if rank < best_rank {
+                        best_rank = rank;
+                        best = Some((in_port, in_vc, out_port, out_vc));
+                    }
+                }
+                if let Some(c) = best {
+                    stage1.push(c);
                 }
             }
             // SA stage 2: one winner per output port.
             for out_idx in 0..Port::COUNT {
-                let ptr = self.routers[node].sa_out_rr[out_idx];
+                let ptr = self.store.sa_out_rr[self.store.port_id(node, out_idx)] as usize;
                 let mut winner: Option<(usize, usize, Port, usize)> = None;
                 let mut best_rank = usize::MAX;
                 for &(in_port, in_vc, out_port, out_vc) in &stage1 {
@@ -1813,17 +2127,142 @@ impl Network {
                 let Some((in_port, in_vc, out_port, out_vc)) = winner else {
                     continue;
                 };
-                self.routers[node].sa_in_rr[in_port] = (in_vc + 1) % vcs;
-                self.routers[node].sa_out_rr[out_idx] = (in_port + 1) % Port::COUNT;
-                if let Some(p) = probe.as_deref_mut() {
-                    p.on_switch_grant(now, NodeId(node));
-                }
+                self.grant_switch(node, in_port, in_vc, out_idx, now, probe.as_deref_mut());
                 let ejected =
                     self.traverse(node, in_port, in_vc, out_port, out_vc, now, probe.as_deref_mut());
                 grants += 1;
                 if ejected {
                     ejections += 1;
                 }
+            }
+        }
+        (grants, ejections)
+    }
+
+    /// Commits one switch grant: advances both rotating-priority pointers
+    /// and fires the probe. Shared by the oracle and fast SA bodies.
+    fn grant_switch(
+        &mut self,
+        node: usize,
+        in_port: usize,
+        in_vc: usize,
+        out_idx: usize,
+        now: u64,
+        probe: Option<&mut (dyn Probe + '_)>,
+    ) {
+        let vcs = self.store.vcs();
+        let in_pid = self.store.port_id(node, in_port);
+        let out_pid = self.store.port_id(node, out_idx);
+        self.store.sa_in_rr[in_pid] = ((in_vc + 1) % vcs) as u32;
+        self.store.sa_out_rr[out_pid] = ((in_port + 1) % Port::COUNT) as u32;
+        if let Some(p) = probe {
+            p.on_switch_grant(now, NodeId(node));
+        }
+    }
+
+    /// Stage-4 fast body for one node: the same two-stage allocator as
+    /// [`Network::switch_allocate_at`], restructured to stream over the SoA
+    /// arrays with a stack-resident stage-1 table and no heap allocation.
+    ///
+    /// Equivalence argument: within one input port the ranks
+    /// `(in_vc - ptr) mod vcs` of the eligible VCs are distinct, so the
+    /// oracle's min-rank winner is exactly the first eligible VC met when
+    /// scanning `in_vc` in rotated ascending order from `ptr` — and likewise
+    /// for stage 2 over input ports. Stage 1 is fully computed before stage
+    /// 2 commits anything in both bodies, and each winner touches a distinct
+    /// `(in_port, in_vc)`, so grant order cannot change the outcome.
+    fn switch_allocate_at_fast(
+        &mut self,
+        node: usize,
+        now: u64,
+        mut probe: Option<&mut (dyn Probe + '_)>,
+    ) -> (usize, usize) {
+        let mut grants = 0;
+        let mut ejections = 0;
+        let vcs = self.store.vcs();
+        // O(1) early-out: no VC on this node holds an output grant.
+        if self.store.active_count[node] == 0 {
+            return (0, 0);
+        }
+        if !self.routers[node].is_operational() || self.frozen(node, now) {
+            return (0, 0);
+        }
+        // SA stage 1: first eligible VC per input port, in rotated order
+        // (equals the oracle's min-rank winner; ranks are distinct). A
+        // candidate is Active *and* occupied, so the per-port candidate set
+        // is one mask intersection; rotating the word by the round-robin
+        // pointer makes ascending bit order exactly rank order (bits below
+        // `ptr` wrap to positions `64 - ptr + v`, above every unwrapped
+        // candidate since `vcs <= 64`).
+        let mut stage1: [Option<(u8, u8, u8)>; Port::COUNT] = [None; Port::COUNT]; // (in_vc, out_port, out_vc)
+        let mut any = false;
+        for (in_port, slot) in stage1.iter_mut().enumerate() {
+            let in_pid = self.store.port_id(node, in_port);
+            let cand = self.store.active_mask[in_pid] & self.store.occ_mask[in_pid];
+            if cand == 0 {
+                continue;
+            }
+            let ptr = self.store.sa_in_rr[in_pid] as usize;
+            let mut rot = cand.rotate_right(ptr as u32);
+            while rot != 0 {
+                let k = rot.trailing_zeros() as usize;
+                rot &= rot - 1;
+                let in_vc = (ptr + k) & 63;
+                let id = in_pid * vcs + in_vc;
+                if self.store.head_arrived[id] + self.params.sa_delay > now {
+                    continue;
+                }
+                let out_port_idx = self.store.route_port[id] as usize;
+                let out_vc = self.store.route_vc[id] as usize;
+                let out_port = Port::from_index(out_port_idx);
+                // Ejection has an ideal sink: no credit check.
+                if out_port != Port::Local
+                    && self.store.credits[self.store.vc_id(node, out_port_idx, out_vc)] == 0
+                {
+                    continue;
+                }
+                if !self.sa_fault_ok(node, self.store.head_is_head[id], out_port, now) {
+                    continue;
+                }
+                *slot = Some((in_vc as u8, out_port_idx as u8, out_vc as u8));
+                any = true;
+                break;
+            }
+        }
+        if !any {
+            return (0, 0);
+        }
+        // SA stage 2: first matching input port per output port, in rotated
+        // order from the stage-2 pointer.
+        for out_idx in 0..Port::COUNT {
+            let out_pid = self.store.port_id(node, out_idx);
+            let ptr = self.store.sa_out_rr[out_pid] as usize;
+            let mut winner = None;
+            for k in 0..Port::COUNT {
+                let in_port = (ptr + k) % Port::COUNT;
+                if let Some((in_vc, op, ov)) = stage1[in_port] {
+                    if op as usize == out_idx {
+                        winner = Some((in_port, in_vc as usize, ov as usize));
+                        break;
+                    }
+                }
+            }
+            let Some((in_port, in_vc, out_vc)) = winner else {
+                continue;
+            };
+            self.grant_switch(node, in_port, in_vc, out_idx, now, probe.as_deref_mut());
+            let ejected = self.traverse(
+                node,
+                in_port,
+                in_vc,
+                Port::from_index(out_idx),
+                out_vc,
+                now,
+                probe.as_deref_mut(),
+            );
+            grants += 1;
+            if ejected {
+                ejections += 1;
             }
         }
         (grants, ejections)
@@ -1841,11 +2280,11 @@ impl Network {
         now: u64,
         mut probe: Option<&mut (dyn Probe + '_)>,
     ) -> bool {
-        let flit = {
+        let id = self.store.vc_id(node, in_port, in_vc);
+        let flit = self.store.pop_flit(id).expect("SA granted an empty VC");
+        {
             let router = &mut self.routers[node];
             router.last_activity = now;
-            let ch = &mut router.inputs[in_port][in_vc];
-            let flit = ch.buffer.pop_front().expect("SA granted an empty VC");
             if router.counting {
                 router.activity.buffer_reads += 1;
                 router.activity.crossbar_traversals += 1;
@@ -1854,8 +2293,7 @@ impl Network {
                     router.activity.link_flits += 1;
                 }
             }
-            flit
-        };
+        }
         self.active.buffered[node] -= 1;
         self.active.total_buffered -= 1;
 
@@ -1878,24 +2316,26 @@ impl Network {
             }
             Port::Dir(d) => {
                 // Consume a downstream credit.
-                let router = &mut self.routers[node];
-                let credits = &mut router.outputs[out_port.index()].credits[out_vc];
-                debug_assert!(*credits > 0, "SA granted without credit");
-                *credits -= 1;
+                let out_id = self.store.vc_id(node, out_port.index(), out_vc);
+                debug_assert!(self.store.credits[out_id] > 0, "SA granted without credit");
+                self.store.credits[out_id] -= 1;
                 let next = self
                     .mesh
                     .neighbor(NodeId(node), d)
                     .expect("routing sent flit off the mesh");
                 let next_in_port = Port::Dir(d.opposite()).index();
                 let latency = self.link_latency(NodeId(node), next);
-                self.link_in[next.0][next_in_port].push_back(TimedFlit {
-                    flit,
-                    vc: out_vc,
+                // Staged, landed by flush_pending at end of step: at most
+                // one flit per (node, port) queue per cycle, and arrivals
+                // are strictly after this cycle's stage 1, so batching is
+                // unobservable.
+                self.pending_links.push(PendingLink {
+                    node: next.0 as u32,
+                    port: next_in_port as u8,
+                    vc: out_vc as u8,
                     arrive: now + latency,
+                    flit,
                 });
-                self.active.link_pending[next.0] += 1;
-                self.active.total_links += 1;
-                self.active.link.insert(next.0);
                 if let Some(p) = probe.as_deref_mut() {
                     p.on_link_traversal(now, NodeId(node), next);
                 }
@@ -1906,19 +2346,15 @@ impl Network {
         if is_tail {
             // Release the output VC and recycle the input VC: route the next
             // buffered head (fault-aware), or go idle.
-            self.routers[node].outputs[out_port.index()].alloc[out_vc] = None;
-            self.routers[node].input_mut(in_port_t, in_vc).state = VcState::Idle;
-            if self.routers[node].input_mut(in_port_t, in_vc).head().is_some() {
+            let out_id = self.store.vc_id(node, out_port.index(), out_vc);
+            self.store.free_out(node, out_id);
+            self.store.set_phase(id, VcPhase::Idle);
+            if self.store.occupancy(id) > 0 {
                 self.resolve_route(node, in_port_t, in_vc, now, probe);
             }
         }
         ejected
     }
-}
-
-#[inline]
-fn router_counting(r: &Router) -> bool {
-    r.counting
 }
 
 #[cfg(test)]
@@ -2022,6 +2458,37 @@ mod tests {
     }
 
     #[test]
+    fn stage_busy_counters_track_work() {
+        let mut net = net();
+        // Idle stepping adds nothing.
+        for _ in 0..5 {
+            net.step().unwrap();
+        }
+        assert_eq!(net.stage_cycles(), StageCycles::default());
+        net.enqueue_packet(packet(1, 0, 15, 5, 0));
+        run_until_drained(&mut net, 500);
+        let sc = net.stage_cycles();
+        // 5 flits injected one per cycle; every stage saw work at least once.
+        assert!(sc.inject >= 5, "inject busy {} < 5", sc.inject);
+        assert!(sc.va >= 1);
+        assert!(sc.sa >= 5, "sa busy {} < 5", sc.sa);
+        assert!(sc.link >= 5);
+        assert!(sc.credit >= 5);
+        assert!(sc.eject >= 5);
+        // A busy-cycle counter never exceeds elapsed cycles.
+        assert!(sc.sa <= net.now());
+        // Both engines count identically.
+        let mut a = self::net();
+        let mut b = self::net();
+        b.set_step_engine(StepEngine::ExhaustiveSweep);
+        for n in [&mut a, &mut b] {
+            n.enqueue_packet(packet(2, 3, 12, 5, 0));
+            run_until_drained(n, 500);
+        }
+        assert_eq!(a.stage_cycles(), b.stage_cycles());
+    }
+
+    #[test]
     fn dark_router_entry_is_reported() {
         let mut net = net();
         // Gate node 1, which is on the XY path 0 -> 3.
@@ -2069,15 +2536,15 @@ mod tests {
             net.step().unwrap();
         }
         for n in net.mesh().nodes() {
-            let r = net.router(n);
-            for (p, out) in r.outputs.iter().enumerate() {
-                for (v, &c) in out.credits.iter().enumerate() {
+            for p in Port::ALL {
+                for v in 0..4 {
                     assert_eq!(
-                        c, 4,
-                        "node {n} port {p} vc {v} did not return to full credits"
+                        net.credit_count(n, p, v),
+                        4,
+                        "node {n} port {p:?} vc {v} did not return to full credits"
                     );
+                    assert!(!net.output_allocated(n, p, v));
                 }
-                assert!(out.alloc.iter().all(|a| a.is_none()));
             }
         }
     }

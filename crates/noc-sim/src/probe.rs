@@ -165,7 +165,7 @@ impl Probe for TimeSeriesObserver {
         let buffered = net
             .mesh()
             .nodes()
-            .map(|n| net.router(n).buffered_flits())
+            .map(|n| net.buffered_flits(n))
             .collect();
         let gated = net
             .mesh()

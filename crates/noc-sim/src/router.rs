@@ -13,10 +13,10 @@
 //! The router itself is a passive data structure: the per-cycle orchestration
 //! (delivering link flits, running the allocators in order) is owned by
 //! [`crate::network::Network`], which avoids self-referential borrows and
-//! keeps each stage unit-testable.
-
-use crate::geometry::Port;
-use crate::vc::{VcState, VirtualChannel};
+//! keeps each stage unit-testable. Since the struct-of-arrays refactor the
+//! per-VC pipeline state (buffers, credits, allocation, arbiter pointers)
+//! lives in the network-wide [`crate::soa::VcStore`]; [`Router`] keeps only
+//! the per-node power/sleep state and activity counters.
 
 /// Sizing and timing parameters of one router.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -112,6 +112,11 @@ impl RouterParams {
         if self.vcs_per_port == 0 {
             return Err(SimError::InvalidConfig("vcs_per_port must be > 0".into()));
         }
+        if self.vcs_per_port > 64 {
+            return Err(SimError::InvalidConfig(
+                "vcs_per_port must be <= 64 (per-port VC masks are one machine word)".into(),
+            ));
+        }
         if self.vnets == 0 {
             return Err(SimError::InvalidConfig("vnets must be > 0".into()));
         }
@@ -176,39 +181,6 @@ impl RouterActivity {
     }
 }
 
-/// Per-output-port state: which input VC owns each output VC, plus credits
-/// for the downstream buffer.
-#[derive(Debug, Clone)]
-pub struct OutputPort {
-    /// `alloc[v]` is the (input port, input vc) currently holding output VC
-    /// `v`, if any.
-    pub alloc: Vec<Option<(Port, usize)>>,
-    /// Credits (free downstream buffer slots) per output VC.
-    pub credits: Vec<u32>,
-    /// Whether this port is wired to a neighbor (or, for `Local`, the NI).
-    /// Edge routers have unconnected ports.
-    pub connected: bool,
-}
-
-impl OutputPort {
-    fn new(params: &RouterParams, connected: bool) -> Self {
-        OutputPort {
-            alloc: vec![None; params.vcs_per_port],
-            credits: vec![params.buffer_depth as u32; params.vcs_per_port],
-            connected,
-        }
-    }
-
-    /// Output VCs not currently allocated to a packet.
-    pub fn free_vcs(&self) -> impl Iterator<Item = usize> + '_ {
-        self.alloc
-            .iter()
-            .enumerate()
-            .filter(|(_, a)| a.is_none())
-            .map(|(v, _)| v)
-    }
-}
-
 /// Runtime power state of a router under *reactive* gating (the
 /// traffic-driven schemes of NoRD / Catnap / router parking, which the
 /// paper's §2 argues make sub-optimal decisions without core-status
@@ -227,22 +199,11 @@ pub enum SleepState {
     },
 }
 
-/// One mesh router: input VCs, output-side allocation state, arbiter
-/// pointers and activity counters.
+/// Per-node power/sleep state and activity counters. The per-VC pipeline
+/// state (buffers, credits, allocation, arbiter pointers) lives in the
+/// network-wide [`crate::soa::VcStore`].
 #[derive(Debug, Clone)]
 pub struct Router {
-    /// Sizing/timing parameters (shared by every router in a network).
-    pub params: RouterParams,
-    /// `inputs[port][vc]`.
-    pub inputs: Vec<Vec<VirtualChannel>>,
-    /// `outputs[port]`.
-    pub outputs: Vec<OutputPort>,
-    /// Round-robin pointer per output port for VC allocation.
-    pub va_rr: Vec<usize>,
-    /// Round-robin pointer per input port for switch allocation stage 1.
-    pub sa_in_rr: Vec<usize>,
-    /// Round-robin pointer per output port for switch allocation stage 2.
-    pub sa_out_rr: Vec<usize>,
     /// Activity counters for the power model.
     pub activity: RouterActivity,
     /// Whether activity counters accumulate.
@@ -269,20 +230,9 @@ pub struct Router {
 }
 
 impl Router {
-    /// Creates a router; `connected[p]` says whether output port `p` (by
-    /// [`Port::index`]) is wired.
-    pub fn new(params: RouterParams, connected: [bool; Port::COUNT]) -> Self {
+    /// Creates a powered-on, awake router with zeroed counters.
+    pub fn new() -> Self {
         Router {
-            params,
-            inputs: (0..Port::COUNT)
-                .map(|_| (0..params.vcs_per_port).map(|_| VirtualChannel::new()).collect())
-                .collect(),
-            outputs: (0..Port::COUNT)
-                .map(|p| OutputPort::new(&params, connected[p]))
-                .collect(),
-            va_rr: vec![0; Port::COUNT],
-            sa_in_rr: vec![0; Port::COUNT],
-            sa_out_rr: vec![0; Port::COUNT],
             activity: RouterActivity::default(),
             counting: false,
             powered_on: true,
@@ -298,42 +248,11 @@ impl Router {
     pub fn is_operational(&self) -> bool {
         self.powered_on && self.sleep == SleepState::On
     }
+}
 
-    /// Whether the router holds any allocation or buffered flit (must stay
-    /// awake).
-    pub fn holds_state(&self) -> bool {
-        self.buffered_flits() > 0
-            || self
-                .outputs
-                .iter()
-                .any(|o| o.alloc.iter().any(|a| a.is_some()))
-    }
-
-    /// Immutable access to an input VC.
-    pub fn input(&self, port: Port, vc: usize) -> &VirtualChannel {
-        &self.inputs[port.index()][vc]
-    }
-
-    /// Mutable access to an input VC.
-    pub fn input_mut(&mut self, port: Port, vc: usize) -> &mut VirtualChannel {
-        &mut self.inputs[port.index()][vc]
-    }
-
-    /// Total flits buffered across every input VC.
-    pub fn buffered_flits(&self) -> usize {
-        self.inputs
-            .iter()
-            .flat_map(|vcs| vcs.iter())
-            .map(|vc| vc.occupancy())
-            .sum()
-    }
-
-    /// Whether every VC is idle and empty (router fully drained).
-    pub fn is_drained(&self) -> bool {
-        self.inputs
-            .iter()
-            .flat_map(|vcs| vcs.iter())
-            .all(|vc| vc.occupancy() == 0 && vc.state == VcState::Idle)
+impl Default for Router {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -371,22 +290,21 @@ mod tests {
     }
 
     #[test]
-    fn new_router_has_full_credits_everywhere() {
-        let r = Router::new(RouterParams::paper(), [true; Port::COUNT]);
-        for out in &r.outputs {
-            assert!(out.credits.iter().all(|&c| c == 4));
-            assert_eq!(out.free_vcs().count(), 4);
-        }
-        assert!(r.is_drained());
-        assert_eq!(r.buffered_flits(), 0);
+    fn validate_rejects_oversized_vc_count() {
+        let mut p = RouterParams::paper();
+        p.vcs_per_port = 64;
+        p.vnets = 1;
+        p.validate().unwrap();
+        p.vcs_per_port = 65;
+        assert!(p.validate().is_err(), "per-port VC masks are one word");
     }
 
     #[test]
-    fn free_vcs_reflect_allocation() {
-        let mut r = Router::new(RouterParams::paper(), [true; Port::COUNT]);
-        r.outputs[1].alloc[2] = Some((Port::Local, 0));
-        let free: Vec<usize> = r.outputs[1].free_vcs().collect();
-        assert_eq!(free, vec![0, 1, 3]);
+    fn new_router_is_operational() {
+        let r = Router::new();
+        assert!(r.is_operational());
+        assert!(!r.counting);
+        assert_eq!(r.activity, RouterActivity::default());
     }
 
     #[test]

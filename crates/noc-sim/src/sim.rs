@@ -11,7 +11,7 @@ use std::collections::HashMap;
 
 use crate::error::SimError;
 use crate::fault::FaultStats;
-use crate::network::Network;
+use crate::network::{Network, StageCycles};
 use crate::packet::PacketId;
 use crate::probe::{Probe, SimPhase};
 use crate::router::RouterActivity;
@@ -30,6 +30,10 @@ pub struct SimConfig {
     /// Cycles without any pipeline event (while flits are in flight) before
     /// the watchdog reports a deadlock.
     pub deadlock_threshold: u64,
+    /// When set, run [`Network::validate_active_sets`] every N cycles —
+    /// cross-checking the incremental work-lists and the struct-of-arrays
+    /// mirrors against ground truth. Debugging/CI aid; panics on divergence.
+    pub validate_sets_every: Option<u64>,
 }
 
 impl SimConfig {
@@ -40,6 +44,7 @@ impl SimConfig {
             measure: 10_000,
             drain_max: 50_000,
             deadlock_threshold: 10_000,
+            validate_sets_every: None,
         }
     }
 
@@ -50,6 +55,7 @@ impl SimConfig {
             measure: 2_000,
             drain_max: 20_000,
             deadlock_threshold: 5_000,
+            validate_sets_every: None,
         }
     }
 }
@@ -112,6 +118,9 @@ pub struct SimOutcome {
     pub faults: FaultStats,
     /// Where every measured packet ended up.
     pub accounting: PacketAccounting,
+    /// Per-pipeline-stage busy-cycle counters over the whole run (cycles in
+    /// which the stage processed at least one event).
+    pub stage_cycles: StageCycles,
 }
 
 /// Runs the warmup/measure/drain loop for one traffic configuration.
@@ -251,6 +260,11 @@ impl Simulation {
             }
 
             let report = self.net.step_observed(probe.as_deref_mut())?;
+            if let Some(every) = self.cfg.validate_sets_every {
+                if every > 0 && self.net.now().is_multiple_of(every) {
+                    self.net.validate_active_sets();
+                }
+            }
             for e in self.net.drain_ejections() {
                 let f = e.flit;
                 if in_measure {
@@ -347,6 +361,7 @@ impl Simulation {
             total_cycles,
             faults,
             accounting,
+            stage_cycles: self.net.stage_cycles(),
         })
     }
 }
@@ -411,10 +426,8 @@ mod tests {
         // 0.95 flits/cycle/node uniform on a 4x4 mesh is far beyond
         // saturation (~0.4-0.5); the drain budget must expire.
         let cfg = SimConfig {
-            warmup: 500,
-            measure: 2_000,
             drain_max: 3_000,
-            deadlock_threshold: 5_000,
+            ..SimConfig::quick()
         };
         let out = sim(0.95, cfg).run().unwrap();
         assert!(out.stats.saturated);

@@ -1,4 +1,10 @@
 //! Virtual-channel state tracking.
+//!
+//! [`VcState`] is the logical lifecycle of an input VC; [`FlitQueue`] is the
+//! payload FIFO. Since the struct-of-arrays refactor the scalar allocation
+//! state lives in [`crate::soa::VcStore`], packed into flat per-stage arrays,
+//! while the flit payloads stay in one `FlitQueue` per VC — the allocator
+//! loops scan the scalars without dragging payload cache lines in.
 
 use std::collections::VecDeque;
 
@@ -128,40 +134,17 @@ impl FlitQueue {
     pub fn spilled(&self) -> usize {
         self.spill.len()
     }
-}
 
-/// One input virtual channel: a flit FIFO plus allocation state.
-#[derive(Debug, Clone)]
-pub struct VirtualChannel {
-    /// Buffered flits, head of packet at the front.
-    pub buffer: FlitQueue,
-    /// Allocation state.
-    pub state: VcState,
-}
-
-impl VirtualChannel {
-    /// Creates an empty, idle VC.
-    pub fn new() -> Self {
-        VirtualChannel {
-            buffer: FlitQueue::new(),
-            state: VcState::Idle,
+    /// Releases heap capacity held by a drained spill. A transient burst
+    /// past [`INLINE_FLITS`] (deep-buffer configs, congestion spikes) grows
+    /// the spill `VecDeque`; once those flits have been promoted back into
+    /// the inline ring the allocation would otherwise pin heap for the rest
+    /// of the run. No-op (and allocation-free) when the spill never grew or
+    /// still holds flits.
+    pub fn shrink_to_inline(&mut self) {
+        if self.spill.is_empty() && self.spill.capacity() > 0 {
+            self.spill = VecDeque::new();
         }
-    }
-
-    /// Flit at the head of the FIFO.
-    pub fn head(&self) -> Option<&Flit> {
-        self.buffer.front()
-    }
-
-    /// Number of buffered flits.
-    pub fn occupancy(&self) -> usize {
-        self.buffer.len()
-    }
-}
-
-impl Default for VirtualChannel {
-    fn default() -> Self {
-        Self::new()
     }
 }
 
@@ -172,11 +155,11 @@ mod tests {
     use crate::packet::{Packet, PacketId};
 
     #[test]
-    fn new_vc_is_idle_and_empty() {
-        let vc = VirtualChannel::new();
-        assert_eq!(vc.state, VcState::Idle);
-        assert_eq!(vc.occupancy(), 0);
-        assert!(vc.head().is_none());
+    fn new_queue_is_empty() {
+        let q = FlitQueue::new();
+        assert_eq!(q.len(), 0);
+        assert!(q.front().is_none());
+        assert!(q.is_empty());
     }
 
     #[test]
@@ -208,14 +191,87 @@ mod tests {
 
     #[test]
     fn fifo_order_is_preserved() {
-        let mut vc = VirtualChannel::new();
+        let mut q = FlitQueue::new();
         let p = test_packet(3);
         for seq in 0..3 {
-            vc.buffer.push_back(p.flit(seq, 0));
+            q.push_back(p.flit(seq, 0));
         }
-        assert_eq!(vc.head().unwrap().seq, 0);
-        vc.buffer.pop_front();
-        assert_eq!(vc.head().unwrap().seq, 1);
+        assert_eq!(q.front().unwrap().seq, 0);
+        q.pop_front();
+        assert_eq!(q.front().unwrap().seq, 1);
+    }
+
+    #[test]
+    fn shrink_is_noop_when_never_spilled() {
+        let mut q = FlitQueue::new();
+        let p = test_packet(INLINE_FLITS as u32);
+        for seq in 0..INLINE_FLITS as u32 {
+            q.push_back(p.flit(seq, 0));
+        }
+        assert_eq!(q.spill.capacity(), 0, "inline-only use must not allocate");
+        q.shrink_to_inline();
+        assert_eq!(q.spill.capacity(), 0);
+        assert_eq!(q.len(), INLINE_FLITS);
+    }
+
+    #[test]
+    fn shrink_releases_capacity_after_spill_drains() {
+        let total = 2 * INLINE_FLITS as u32 + 1;
+        let mut q = FlitQueue::new();
+        let p = test_packet(total);
+        for seq in 0..total {
+            q.push_back(p.flit(seq, 0));
+        }
+        assert!(q.spill.capacity() > 0, "spill must have allocated");
+        // Drain back to the inline threshold: the spill is empty but its
+        // heap capacity lingers until shrunk.
+        for seq in 0..total - INLINE_FLITS as u32 {
+            assert_eq!(q.pop_front().unwrap().seq, seq);
+        }
+        assert_eq!(q.spilled(), 0);
+        assert!(q.spill.capacity() > 0, "drained spill still pins capacity");
+        q.shrink_to_inline();
+        assert_eq!(q.spill.capacity(), 0, "shrink must release the heap");
+        // Remaining inline flits are untouched and in order.
+        assert_eq!(q.len(), INLINE_FLITS);
+        for seq in total - INLINE_FLITS as u32..total {
+            assert_eq!(q.pop_front().unwrap().seq, seq);
+        }
+    }
+
+    #[test]
+    fn shrink_keeps_occupied_spill() {
+        let total = INLINE_FLITS as u32 + 2;
+        let mut q = FlitQueue::new();
+        let p = test_packet(total);
+        for seq in 0..total {
+            q.push_back(p.flit(seq, 0));
+        }
+        assert_eq!(q.spilled(), 2);
+        q.shrink_to_inline();
+        assert_eq!(q.spilled(), 2, "occupied spill must not be touched");
+        for seq in 0..total {
+            assert_eq!(q.pop_front().unwrap().seq, seq);
+        }
+    }
+
+    #[test]
+    fn queue_reusable_after_shrink() {
+        // One flit past the threshold, drain fully, shrink, then reuse.
+        let mut q = FlitQueue::new();
+        let p = test_packet(32);
+        for seq in 0..=INLINE_FLITS as u32 {
+            q.push_back(p.flit(seq, 0));
+        }
+        while q.pop_front().is_some() {}
+        q.shrink_to_inline();
+        assert!(q.is_empty());
+        for seq in 0..2 * INLINE_FLITS as u32 {
+            q.push_back(p.flit(seq, 0));
+        }
+        for seq in 0..2 * INLINE_FLITS as u32 {
+            assert_eq!(q.pop_front().unwrap().seq, seq);
+        }
     }
 
     #[test]

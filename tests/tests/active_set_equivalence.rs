@@ -310,6 +310,76 @@ fn engines_bit_identical_on_sprint_region() {
     active.validate_active_sets();
 }
 
+/// On a fully-lit 32x32 mesh — the struct-of-arrays hot path at scale — the
+/// two engines stay bit-identical in lockstep *across mid-run engine
+/// switches on both sides*: the networks flip drivers on different
+/// schedules, so fast-vs-oracle, oracle-vs-fast and same-engine phases are
+/// all exercised with probes attached and a fault plan killing links inside
+/// the lit region, and the work-lists/SoA mirrors must survive each
+/// hand-off.
+#[test]
+fn engines_bit_identical_on_fully_lit_32x32_with_midrun_switches() {
+    let mesh = Mesh2D::new(32, 32).unwrap();
+    // Horizontal and vertical link kills deep inside the lit region, plus a
+    // transient outage, all while traffic is flowing.
+    let plan = FaultPlan::new()
+        .link_drop(NodeId(200), NodeId(201), 150, 400)
+        .link_kill(NodeId(500), NodeId(532), 450);
+    let mut a = build_net(mesh, StepEngine::ActiveSet, None, &plan);
+    let mut b = build_net(mesh, StepEngine::ExhaustiveSweep, None, &plan);
+    let mut gen_a = TrafficGen::new(
+        TrafficPattern::UniformRandom,
+        Placement::full(&mesh),
+        0.05,
+        5,
+        11,
+    )
+    .unwrap();
+    let mut gen_b = TrafficGen::new(
+        TrafficPattern::UniformRandom,
+        Placement::full(&mesh),
+        0.05,
+        5,
+        11,
+    )
+    .unwrap();
+    let mut trace_a = Trace::default();
+    let mut trace_b = Trace::default();
+    for now in 0..900u64 {
+        match now {
+            300 => {
+                a.set_step_engine(StepEngine::ExhaustiveSweep);
+                b.set_step_engine(StepEngine::ActiveSet);
+            }
+            600 => a.set_step_engine(StepEngine::ActiveSet),
+            _ => {}
+        }
+        for p in gen_a.generate(now, true) {
+            a.enqueue_packet(p);
+        }
+        for p in gen_b.generate(now, true) {
+            b.enqueue_packet(p);
+        }
+        let ra = a.step_observed(Some(&mut trace_a)).unwrap();
+        let rb = b.step_observed(Some(&mut trace_b)).unwrap();
+        assert_eq!(ra, rb, "step report diverged at cycle {now}");
+        assert_eq!(
+            a.drain_ejections(),
+            b.drain_ejections(),
+            "ejections diverged at cycle {now}"
+        );
+        if now.is_multiple_of(97) {
+            a.validate_active_sets();
+            b.validate_active_sets();
+        }
+    }
+    assert_eq!(trace_a, trace_b, "{}", trace_a.diff_head(&trace_b));
+    assert_eq!(a.fault_stats(), b.fault_stats());
+    assert_eq!(a.in_flight(), b.in_flight());
+    a.validate_active_sets();
+    b.validate_active_sets();
+}
+
 // ---------------------------------------------------------------------------
 // Full-run property tests
 // ---------------------------------------------------------------------------
@@ -320,6 +390,8 @@ fn small_cfg() -> SimConfig {
         measure: 600,
         drain_max: 10_000,
         deadlock_threshold: 5_000,
+        // Cross-check the work-lists and SoA mirrors as the runs progress.
+        validate_sets_every: Some(113),
     }
 }
 
@@ -451,6 +523,66 @@ proptest! {
             &FaultPlan::new(),
             seed,
         )?;
+    }
+}
+
+proptest! {
+    // Runs on a 1024-node mesh are expensive; a handful of cases is enough
+    // to randomize seeds and fault placement on the fully-lit hot path.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Fully-lit 32x32 mesh: over random traffic seeds and random fault
+    /// plans that permanently kill links *inside* the lit region, both
+    /// engines produce identical `SimOutcome`s end-to-end (delivery,
+    /// latency, activity, fault and packet accounting all pinned by
+    /// `PartialEq`), with periodic work-list/SoA-mirror validation on.
+    #[test]
+    fn active_set_matches_exhaustive_on_fully_lit_32x32(
+        seed in 0u64..1_000,
+        fault_seed in 0u64..500,
+        kills in 1usize..4,
+    ) {
+        let mesh = Mesh2D::new(32, 32).unwrap();
+        let plan = FaultPlan::random(
+            &mesh,
+            &vec![true; mesh.len()],
+            &RandomFaultConfig {
+                permanent_kills: kills,
+                ..RandomFaultConfig::light(400)
+            },
+            fault_seed,
+        );
+        let cfg = SimConfig {
+            warmup: 100,
+            measure: 300,
+            drain_max: 8_000,
+            deadlock_threshold: 5_000,
+            validate_sets_every: Some(113),
+        };
+        let run = |engine| {
+            let mut net =
+                Network::new(mesh, RouterParams::paper(), Box::new(XyRouting)).unwrap();
+            net.set_step_engine(engine);
+            net.set_fault_plan(&plan).unwrap();
+            let traffic = TrafficGen::new(
+                TrafficPattern::UniformRandom,
+                Placement::full(&mesh),
+                0.04,
+                5,
+                seed,
+            )
+            .unwrap();
+            Simulation::new(net, traffic, cfg).run()
+        };
+        match (run(StepEngine::ActiveSet), run(StepEngine::ExhaustiveSweep)) {
+            (Ok(a), Ok(o)) => prop_assert_eq!(a, o),
+            (Err(a), Err(o)) => prop_assert_eq!(format!("{a:?}"), format!("{o:?}")),
+            (a, o) => {
+                return Err(TestCaseError::fail(format!(
+                    "engines disagree on run result: {a:?} vs {o:?}"
+                )))
+            }
+        }
     }
 }
 

@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 
-use noc_sim::geometry::NodeId;
+use noc_sim::geometry::{NodeId, Port};
 use noc_sim::network::Network;
 use noc_sim::packet::{Packet, PacketId};
 use noc_sim::router::RouterParams;
@@ -63,12 +63,11 @@ proptest! {
 
         // Credit conservation: every output port back to full credits.
         for n in mesh.nodes() {
-            let r = net.router(n);
-            for out in &r.outputs {
-                for &c in &out.credits {
-                    prop_assert_eq!(c, 4u32);
+            for p in Port::ALL {
+                for v in 0..4 {
+                    prop_assert_eq!(net.credit_count(n, p, v), 4u32);
+                    prop_assert!(!net.output_allocated(n, p, v));
                 }
-                prop_assert!(out.alloc.iter().all(|a| a.is_none()));
             }
         }
     }
