@@ -17,6 +17,7 @@
 
 use noc_bench::{banner, markdown_table, mean, FigureHarness};
 use noc_sim::traffic::TrafficPattern;
+use noc_sim::topology::TopologySpec;
 use noc_sprinting::experiment::Experiment;
 use noc_sprinting::runner::{SyntheticBaseline, SyntheticJob};
 
@@ -44,6 +45,7 @@ fn main() {
         let mut jobs = Vec::new();
         for &rate in &rates() {
             let point = |seed, baseline| SyntheticJob {
+                topology: TopologySpec::default(),
                 level,
                 pattern: TrafficPattern::UniformRandom,
                 rate,

@@ -9,6 +9,7 @@
 
 use noc_bench::{banner, markdown_table, FigureHarness};
 use noc_sim::traffic::TrafficPattern;
+use noc_sim::topology::TopologySpec;
 use noc_sprinting::experiment::Experiment;
 use noc_sprinting::runner::{SyntheticBaseline, SyntheticJob};
 
@@ -49,6 +50,7 @@ fn main() {
                     SyntheticBaseline::SpreadAggregate,
                 ]
                 .map(|baseline| SyntheticJob {
+                    topology: TopologySpec::default(),
                     level,
                     pattern,
                     rate,

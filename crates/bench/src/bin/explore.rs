@@ -40,6 +40,7 @@ use noc_sim::sim::{SimConfig, Simulation};
 use noc_sim::sweep::{point_seed, LoadSweep, SweepReport};
 use noc_sim::topology::Mesh2D;
 use noc_sim::traffic::{Placement, TrafficGen, TrafficPattern};
+use noc_sim::topology::TopologySpec;
 use noc_sprinting::cdor::CdorRouting;
 use noc_sprinting::config::SystemConfig;
 use noc_sprinting::runner::{ExperimentRunner, SyntheticBaseline, SyntheticJob};
@@ -273,6 +274,7 @@ fn run_service_mode(args: &Args, socket: &std::path::Path) {
             .iter()
             .enumerate()
             .map(|(i, &rate)| SyntheticJob {
+                topology: TopologySpec::default(),
                 level: args.level,
                 pattern: args.pattern,
                 rate,
@@ -281,6 +283,7 @@ fn run_service_mode(args: &Args, socket: &std::path::Path) {
             })
             .collect(),
         None => vec![SyntheticJob {
+            topology: TopologySpec::default(),
             level: args.level,
             pattern: args.pattern,
             rate: args.rate,
@@ -343,7 +346,7 @@ fn run_sweep_mode(args: &Args, mesh: Mesh2D, set: &SprintSet, loads: Vec<f64>) {
         runner = runner.with_echo("explore");
     }
     let sweep = LoadSweep {
-        mesh,
+        topo: mesh.into(),
         params: sys.router,
         pattern: args.pattern,
         packet_len: sys.packet_len,

@@ -20,6 +20,7 @@
 
 use noc_bench::{banner, markdown_table, mean, pct, reduction, FigureHarness};
 use noc_sim::traffic::TrafficPattern;
+use noc_sim::topology::TopologySpec;
 use noc_sprinting::experiment::Experiment;
 use noc_sprinting::runner::{SyntheticBaseline, SyntheticJob};
 
@@ -48,6 +49,7 @@ fn main() {
         let mut jobs = Vec::new();
         for &rate in &rates() {
             jobs.push(SyntheticJob {
+                topology: TopologySpec::default(),
                 level,
                 pattern: TrafficPattern::UniformRandom,
                 rate,
@@ -56,6 +58,7 @@ fn main() {
             });
             for s in 0..SAMPLES {
                 jobs.push(SyntheticJob {
+                    topology: TopologySpec::default(),
                     level,
                     pattern: TrafficPattern::UniformRandom,
                     rate,

@@ -25,6 +25,7 @@ use noc_bench::{banner, markdown_table, pct, reduction, watts, FigureHarness};
 use noc_sim::geometry::NodeId;
 use noc_sim::sim::SimConfig;
 use noc_sim::traffic::TrafficPattern;
+use noc_sim::topology::TopologySpec;
 use noc_sprinting::config::SystemConfig;
 use noc_sprinting::controller::SprintController;
 use noc_sprinting::experiment::Experiment;
@@ -117,6 +118,7 @@ fn main() {
                 SyntheticBaseline::SpreadAggregate,
             ]
             .map(|baseline| SyntheticJob {
+                topology: TopologySpec::default(),
                 level,
                 pattern: TrafficPattern::UniformRandom,
                 rate,

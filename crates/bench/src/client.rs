@@ -1028,6 +1028,7 @@ mod fleet_client {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use noc_sim::topology::TopologySpec;
     use noc_sim::traffic::TrafficPattern;
     use noc_sprinting::runner::{ExperimentRunner, SyntheticBaseline};
     use noc_sprinting::service::{code_version, DiskResultCache, SweepService};
@@ -1036,6 +1037,7 @@ mod tests {
     fn jobs() -> Vec<SyntheticJob> {
         vec![
             SyntheticJob {
+                topology: TopologySpec::default(),
                 level: 4,
                 pattern: TrafficPattern::UniformRandom,
                 rate: 0.05,
@@ -1043,6 +1045,7 @@ mod tests {
                 baseline: SyntheticBaseline::NocSprinting,
             },
             SyntheticJob {
+                topology: TopologySpec::default(),
                 level: 4,
                 pattern: TrafficPattern::Transpose,
                 rate: 0.08,

@@ -21,6 +21,7 @@ use noc_sprinting::fleet::shard_of;
 use noc_sprinting::runner::{SyntheticBaseline, SyntheticJob};
 use noc_sprinting::service::ServiceResponse;
 use noc_sim::traffic::TrafficPattern;
+use noc_sim::topology::TopologySpec;
 
 fn scratch_dir(label: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!(
@@ -35,6 +36,7 @@ fn scratch_dir(label: &str) -> PathBuf {
 fn jobs(count: usize) -> Vec<SyntheticJob> {
     (0..count)
         .map(|i| SyntheticJob {
+            topology: TopologySpec::default(),
             level: [4, 8][i % 2],
             pattern: [
                 TrafficPattern::UniformRandom,

@@ -19,6 +19,7 @@ use noc_sprinting::metrics::{validate_prometheus, StatsSnapshot};
 use noc_sprinting::runner::{SyntheticBaseline, SyntheticJob};
 use noc_sprinting::telemetry::JsonValue;
 use noc_sim::traffic::TrafficPattern;
+use noc_sim::topology::TopologySpec;
 
 fn scratch_dir(label: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!(
@@ -33,6 +34,7 @@ fn scratch_dir(label: &str) -> PathBuf {
 fn jobs(count: usize) -> Vec<SyntheticJob> {
     (0..count)
         .map(|i| SyntheticJob {
+            topology: TopologySpec::default(),
             level: [4, 8][i % 2],
             pattern: [
                 TrafficPattern::UniformRandom,

@@ -21,7 +21,7 @@
 
 use noc_sim::geometry::{Direction, NodeId, Port};
 use noc_sim::routing::{RouteDecision, RoutingFunction};
-use noc_sim::topology::Mesh2D;
+use noc_sim::topology::{Mesh2D, Topology};
 
 use crate::convex::is_convex;
 use crate::sprint_topology::SprintSet;
@@ -99,7 +99,8 @@ impl CdorRouting {
 }
 
 impl RoutingFunction for CdorRouting {
-    fn route(&self, mesh: &Mesh2D, current: NodeId, dst: NodeId) -> Port {
+    fn route(&self, topo: &dyn Topology, current: NodeId, dst: NodeId) -> Port {
+        let mesh = topo.as_mesh().expect("CDOR requires a mesh topology");
         assert!(
             self.active[current.0],
             "CDOR invoked at dark router {current}"
@@ -157,11 +158,12 @@ impl RoutingFunction for CdorRouting {
     /// armed under fault injection (see `FAULT_MODEL.md`).
     fn route_degraded(
         &self,
-        mesh: &Mesh2D,
+        topo: &dyn Topology,
         current: NodeId,
         dst: NodeId,
         usable: &dyn Fn(NodeId, NodeId) -> bool,
     ) -> RouteDecision {
+        let mesh = topo.as_mesh().expect("CDOR requires a mesh topology");
         let primary = self.route(mesh, current, dst);
         let Some(pd) = primary.direction() else {
             return RouteDecision::Forward(Port::Local);
@@ -376,8 +378,9 @@ mod tests {
         #[derive(Debug)]
         struct AllTurns;
         impl RoutingFunction for AllTurns {
-            fn route(&self, mesh: &Mesh2D, cur: NodeId, dst: NodeId) -> Port {
+            fn route(&self, topo: &dyn Topology, cur: NodeId, dst: NodeId) -> Port {
                 // Route clockwise around the 2x2 ring unless adjacent.
+                let mesh = topo.as_mesh().unwrap();
                 let c = mesh.coord(cur);
                 let d = mesh.coord(dst);
                 if cur == dst {

@@ -11,7 +11,7 @@
 //!   CDOR and structural power gating of the dark region.
 
 use noc_sim::geometry::NodeId;
-use noc_sim::topology::Mesh2D;
+use noc_sim::topology::{Mesh2D, Topo};
 use noc_workload::profile::BenchmarkProfile;
 use noc_workload::speedup::{ExecutionModel, OPTIMAL_TOLERANCE};
 
@@ -56,9 +56,9 @@ impl SprintPolicy {
 }
 
 /// Decides sprint levels and builds sprint topologies.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SprintController {
-    mesh: Mesh2D,
+    topo: Topo,
     master: NodeId,
 }
 
@@ -69,8 +69,17 @@ impl SprintController {
     ///
     /// Panics if the master is outside the mesh.
     pub fn new(mesh: Mesh2D, master: NodeId) -> Self {
-        assert!(master.0 < mesh.len(), "master {master} outside mesh");
-        SprintController { mesh, master }
+        Self::on(Topo::from(mesh), master)
+    }
+
+    /// Creates a controller on an arbitrary topology (see TOPOLOGY.md).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the master is outside the topology.
+    pub fn on(topo: Topo, master: NodeId) -> Self {
+        assert!(master.0 < topo.len(), "master {master} outside mesh");
+        SprintController { topo, master }
     }
 
     /// The paper's controller: 4x4 mesh, master at node 0 (top-left, next
@@ -80,8 +89,20 @@ impl SprintController {
     }
 
     /// The mesh.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-mesh controller; use [`SprintController::topo`] for
+    /// topology-agnostic access.
     pub fn mesh(&self) -> &Mesh2D {
-        &self.mesh
+        self.topo
+            .as_mesh()
+            .expect("controller is not on a mesh topology")
+    }
+
+    /// The topology the controller sprints on.
+    pub fn topo(&self) -> &Topo {
+        &self.topo
     }
 
     /// The master node.
@@ -93,7 +114,7 @@ impl SprintController {
     /// offline profile, as the paper does ("we conduct off-line profiling on
     /// PARSEC to capture the internal parallelism").
     pub fn sprint_level(&self, policy: SprintPolicy, profile: &BenchmarkProfile) -> u32 {
-        let max = self.mesh.len() as u32;
+        let max = self.topo.len() as u32;
         match policy {
             SprintPolicy::NonSprinting => 1,
             SprintPolicy::FullSprinting => max,
@@ -110,7 +131,7 @@ impl SprintController {
     /// still records which cores run.
     pub fn sprint_set(&self, policy: SprintPolicy, profile: &BenchmarkProfile) -> SprintSet {
         let level = self.sprint_level(policy, profile) as usize;
-        SprintSet::new(self.mesh, self.master, level)
+        SprintSet::on(self.topo.clone(), self.master, level)
     }
 
     /// Execution time (normalized to single-core) under a policy.
@@ -279,8 +300,8 @@ impl SprintController {
         backoff: BackoffPolicy,
     ) -> Result<DegradedSprint, WakeupError> {
         assert!(level >= 1, "sprint level must be at least 1");
-        assert!(level <= self.mesh.len(), "sprint level exceeds mesh size");
-        let order = crate::sprint_topology::sprint_order(&self.mesh, self.master);
+        assert!(level <= self.topo.len(), "sprint level exceeds mesh size");
+        let order = crate::sprint_topology::sprint_order(self.topo.as_dyn(), self.master);
         let mut attempts = 0u64;
         let mut wake_cycles = 0u64;
         let mut achieved = 0usize;
@@ -310,7 +331,7 @@ impl SprintController {
         }
         Ok(DegradedSprint {
             requested_level: level,
-            set: SprintSet::new(self.mesh, self.master, achieved),
+            set: SprintSet::on(self.topo.clone(), self.master, achieved),
             abandoned,
             attempts,
             wake_cycles,

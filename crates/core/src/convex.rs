@@ -13,7 +13,7 @@
 //! (A digitization of a Euclidean-convex region always satisfies these.)
 
 use noc_sim::geometry::NodeId;
-use noc_sim::topology::Mesh2D;
+use noc_sim::topology::{Mesh2D, Topology};
 
 use crate::sprint_topology::SprintSet;
 
@@ -87,9 +87,39 @@ pub fn is_convex(mesh: &Mesh2D, active: &[bool]) -> bool {
     is_row_convex(mesh, active) && is_column_convex(mesh, active) && is_connected(mesh, active)
 }
 
-/// Convenience wrapper for sprint sets.
+/// Topology-generic region validity: the shape a routing function can serve
+/// deadlock-free without leaving the region (see TOPOLOGY.md).
+///
+/// - **Mesh**: digital convexity ([`is_convex`]) — what CDOR requires.
+/// - **Circulant**: one contiguous ring arc — what in-arc ring routing
+///   requires. Ring-distance growth always produces one; the check counts
+///   internal ring edges (an arc of `k < n` nodes has exactly `k - 1`).
+///
+/// # Panics
+///
+/// Panics if the mask length mismatches the topology, or the topology is
+/// neither a mesh nor a circulant.
+pub fn region_valid(topo: &dyn Topology, active: &[bool]) -> bool {
+    assert_eq!(active.len(), topo.len(), "mask length mismatch");
+    if let Some(mesh) = topo.as_mesh() {
+        return is_convex(mesh, active);
+    }
+    let c = topo
+        .as_circulant()
+        .expect("region_valid: unknown topology kind");
+    let n = c.n();
+    let lit = active.iter().filter(|&&a| a).count();
+    if lit == 0 || lit == n {
+        return true;
+    }
+    let internal = (0..n).filter(|&i| active[i] && active[(i + 1) % n]).count();
+    internal == lit - 1
+}
+
+/// Convenience wrapper for sprint sets: dispatches to the topology's region
+/// rule via [`region_valid`].
 pub fn sprint_set_is_convex(set: &SprintSet) -> bool {
-    is_convex(set.mesh(), set.mask())
+    region_valid(set.topo().as_dyn(), set.mask())
 }
 
 #[cfg(test)]

@@ -8,8 +8,9 @@ use noc_power::router::{RouterConfig, RouterPowerModel};
 use noc_power::tech::{OperatingPoint, TechNode};
 use noc_sim::error::SimError;
 use noc_sim::network::{GatingMode, Network};
-use noc_sim::routing::XyRouting;
+use noc_sim::routing::{CirculantRouting, RoutingFunction, XyRouting};
 use noc_sim::sim::{SimConfig, SimOutcome, Simulation};
+use noc_sim::topology::{Topo, TopologySpec};
 use noc_sim::traffic::{BurstSchedule, Placement, TrafficGen, TrafficPattern};
 use noc_thermal::grid::{TemperatureField, ThermalGrid};
 use noc_thermal::sprint::SprintThermalModel;
@@ -261,6 +262,107 @@ impl Experiment {
         self.run_placed(Placement::full(&mesh), None, pattern, spread_rate, seed)
     }
 
+    /// Checks a mesh spec against the experiment's configured mesh, or
+    /// builds the non-mesh topology. `Ok(None)` means "use the mesh paths".
+    fn resolve_topology(&self, spec: TopologySpec) -> Result<Option<Topo>, SimError> {
+        if spec.is_mesh() {
+            let mesh = self.system.mesh();
+            let configured = TopologySpec::Mesh {
+                width: mesh.width(),
+                height: mesh.height(),
+            };
+            if spec != configured {
+                return Err(SimError::InvalidConfig(format!(
+                    "topology {} does not match the configured mesh {}",
+                    spec.wire_name(),
+                    configured.wire_name()
+                )));
+            }
+            return Ok(None);
+        }
+        spec.build()
+            .map(Some)
+            .map_err(|e| SimError::InvalidConfig(e.to_string()))
+    }
+
+    /// Topology-generic [`Experiment::run_synthetic`] (see TOPOLOGY.md).
+    ///
+    /// A mesh `spec` must match the configured mesh and takes *exactly* the
+    /// mesh code path — bit-identical to calling `run_synthetic` directly.
+    /// A circulant spec grows the sprint region as a ring arc from the
+    /// master, routes in-arc (chord-first when fully lit), and gates
+    /// everything outside the arc; the non-sprinting baseline places the
+    /// `level` endpoints randomly on the fully powered, chord-routed ring.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidConfig`] on a mesh spec that mismatches the
+    /// configured mesh or a degenerate circulant; otherwise propagates
+    /// simulator errors.
+    pub fn run_synthetic_on(
+        &self,
+        spec: TopologySpec,
+        level: usize,
+        noc_sprinting: bool,
+        pattern: TrafficPattern,
+        rate: f64,
+        seed: u64,
+    ) -> Result<NetworkMetrics, SimError> {
+        let Some(topo) = self.resolve_topology(spec)? else {
+            return self.run_synthetic(level, noc_sprinting, pattern, rate, seed);
+        };
+        if noc_sprinting {
+            let set = SprintSet::on(topo.clone(), self.controller.master(), level);
+            let routing = CirculantRouting::on_arc(set.mask().to_vec());
+            let placement = Placement::new(set.active_nodes().to_vec(), topo.as_dyn())?;
+            self.run_placed_on(topo, Box::new(routing), placement, Some(&set), pattern, rate, seed)
+        } else {
+            use rand::SeedableRng;
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+            let placement = Placement::random(level, topo.as_dyn(), &mut rng);
+            self.run_placed_on(
+                topo,
+                Box::new(CirculantRouting::full()),
+                placement,
+                None,
+                pattern,
+                rate,
+                seed,
+            )
+        }
+    }
+
+    /// Topology-generic [`Experiment::run_synthetic_spread`]: all nodes of
+    /// the topology inject, aggregate load matched to the `level`-core
+    /// sprint. Mesh specs take the bit-identical mesh path.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Experiment::run_synthetic_on`].
+    pub fn run_synthetic_spread_on(
+        &self,
+        spec: TopologySpec,
+        level: usize,
+        pattern: TrafficPattern,
+        rate: f64,
+        seed: u64,
+    ) -> Result<NetworkMetrics, SimError> {
+        let Some(topo) = self.resolve_topology(spec)? else {
+            return self.run_synthetic_spread(level, pattern, rate, seed);
+        };
+        let spread_rate = rate * level as f64 / topo.len() as f64;
+        let placement = Placement::full(topo.as_dyn());
+        self.run_placed_on(
+            topo,
+            Box::new(CirculantRouting::full()),
+            placement,
+            None,
+            pattern,
+            spread_rate,
+            seed,
+        )
+    }
+
     fn run_placed(
         &self,
         placement: Placement,
@@ -269,23 +371,45 @@ impl Experiment {
         rate: f64,
         seed: u64,
     ) -> Result<NetworkMetrics, SimError> {
-        let mesh = self.system.mesh();
-        let mut net = match gated {
-            Some(set) => {
-                let mut net = Network::new(
-                    mesh,
-                    self.system.router,
-                    Box::new(CdorRouting::new(set)),
-                )?;
-                net.set_power_mask(set.mask());
-                net
-            }
-            None => Network::new(mesh, self.system.router, Box::new(XyRouting))?,
+        let routing: Box<dyn RoutingFunction> = match gated {
+            Some(set) => Box::new(CdorRouting::new(set)),
+            None => Box::new(XyRouting),
         };
+        self.run_placed_on(
+            Topo::from(self.system.mesh()),
+            routing,
+            placement,
+            gated,
+            pattern,
+            rate,
+            seed,
+        )
+    }
+
+    /// Topology-generic core of every synthetic run: builds the network on
+    /// `topo` with `routing`, applies the sprint set's power mask when one
+    /// is given, simulates, and prices power by powered resources. The
+    /// mesh paths route through here unchanged (pinned bit-identical by
+    /// `mesh_runs_are_bit_identical_to_pre_trait_refactor`).
+    #[allow(clippy::too_many_arguments)]
+    fn run_placed_on(
+        &self,
+        topo: Topo,
+        routing: Box<dyn RoutingFunction>,
+        placement: Placement,
+        gated: Option<&SprintSet>,
+        pattern: TrafficPattern,
+        rate: f64,
+        seed: u64,
+    ) -> Result<NetworkMetrics, SimError> {
+        let mut net = Network::with_topology(topo.clone(), self.system.router, routing)?;
+        if let Some(set) = gated {
+            net.set_power_mask(set.mask());
+        }
         let powered_routers = net.powered_on_count();
         let powered_links = match gated {
             Some(set) => GatingPlan::from_sprint_set(set).links_on().len(),
-            None => mesh.num_directed_links(),
+            None => topo.num_directed_links(),
         };
         let traffic = TrafficGen::new(pattern, placement, rate, self.system.packet_len, seed)?;
         net.set_counting(false);

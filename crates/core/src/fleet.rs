@@ -187,11 +187,13 @@ pub fn merge_summaries(parts: &[BatchSummary], jobs: &[SyntheticJob], wall_ms: f
 mod tests {
     use super::*;
     use crate::runner::SyntheticBaseline;
+    use noc_sim::topology::TopologySpec;
     use noc_sim::traffic::TrafficPattern;
 
     fn jobs(count: usize) -> Vec<SyntheticJob> {
         (0..count)
             .map(|i| SyntheticJob {
+                topology: TopologySpec::default(),
                 level: [4, 8][i % 2],
                 pattern: TrafficPattern::UniformRandom,
                 rate: 0.02 + 0.01 * i as f64,

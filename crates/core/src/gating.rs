@@ -34,19 +34,20 @@ pub struct GatingPlan {
 
 impl GatingPlan {
     /// Derives the plan from a sprint set: a router stays on iff its node is
-    /// active; a link stays on iff both endpoints are active.
+    /// active; a link stays on iff both endpoints are active. Works on any
+    /// topology — links come from the sprint set's topology, not the mesh.
     pub fn from_sprint_set(set: &SprintSet) -> Self {
-        let mesh = set.mesh();
-        let links_on = mesh
-            .links()
+        let topo = set.topo().as_dyn();
+        let links_on = noc_sim::topology::directed_links(topo)
+            .into_iter()
             .filter(|&(a, b, _)| set.is_active(a) && set.is_active(b))
             .map(|(a, b, _)| (a, b))
             .collect();
         GatingPlan {
             routers_on: set.mask().to_vec(),
             links_on,
-            total_routers: mesh.len(),
-            total_links: mesh.num_directed_links(),
+            total_routers: topo.len(),
+            total_links: topo.num_directed_links(),
         }
     }
 

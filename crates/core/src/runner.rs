@@ -34,6 +34,7 @@ use noc_sim::error::SimError;
 use noc_sim::probe::Probe;
 use noc_sim::routing::RoutingFunction;
 use noc_sim::sweep::{point_seed, LoadSweep, SweepReport};
+use noc_sim::topology::TopologySpec;
 use noc_sim::traffic::{Placement, TrafficPattern};
 
 use crate::experiment::{Experiment, NetworkMetrics};
@@ -511,6 +512,8 @@ pub enum SyntheticBaseline {
 /// cache.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SyntheticJob {
+    /// Topology under test (defaults to the experiment's mesh).
+    pub topology: TopologySpec,
     /// Sprint level (active cores).
     pub level: usize,
     /// Traffic pattern.
@@ -531,15 +534,29 @@ impl SyntheticJob {
     /// Propagates simulator errors.
     pub fn run(&self, experiment: &Experiment) -> Result<NetworkMetrics, SimError> {
         match self.baseline {
-            SyntheticBaseline::NocSprinting => {
-                experiment.run_synthetic(self.level, true, self.pattern, self.rate, self.seed)
-            }
-            SyntheticBaseline::RandomEndpoints => {
-                experiment.run_synthetic(self.level, false, self.pattern, self.rate, self.seed)
-            }
-            SyntheticBaseline::SpreadAggregate => {
-                experiment.run_synthetic_spread(self.level, self.pattern, self.rate, self.seed)
-            }
+            SyntheticBaseline::NocSprinting => experiment.run_synthetic_on(
+                self.topology,
+                self.level,
+                true,
+                self.pattern,
+                self.rate,
+                self.seed,
+            ),
+            SyntheticBaseline::RandomEndpoints => experiment.run_synthetic_on(
+                self.topology,
+                self.level,
+                false,
+                self.pattern,
+                self.rate,
+                self.seed,
+            ),
+            SyntheticBaseline::SpreadAggregate => experiment.run_synthetic_spread_on(
+                self.topology,
+                self.level,
+                self.pattern,
+                self.rate,
+                self.seed,
+            ),
         }
     }
 
@@ -549,6 +566,7 @@ impl SyntheticJob {
     /// configuration — the experiment itself is not part of the key.
     pub fn cache_key(&self) -> u64 {
         let mut h = DefaultHasher::new();
+        self.topology.hash(&mut h);
         self.level.hash(&mut h);
         std::mem::discriminant(&self.pattern).hash(&mut h);
         if let TrafficPattern::Hotspot { hot_fraction } = self.pattern {
@@ -834,6 +852,7 @@ mod tests {
     #[test]
     fn synthetic_job_keys_distinguish_configs() {
         let base = SyntheticJob {
+            topology: TopologySpec::default(),
             level: 4,
             pattern: TrafficPattern::UniformRandom,
             rate: 0.1,
@@ -847,6 +866,7 @@ mod tests {
         assert!(keys.insert(SyntheticJob { seed: 43, ..base }.cache_key()));
         assert!(keys.insert(
             SyntheticJob {
+                topology: TopologySpec::default(),
                 baseline: SyntheticBaseline::SpreadAggregate,
                 ..base
             }
@@ -854,6 +874,7 @@ mod tests {
         ));
         assert!(keys.insert(
             SyntheticJob {
+                topology: TopologySpec::default(),
                 pattern: TrafficPattern::Hotspot { hot_fraction: 0.3 },
                 ..base
             }
@@ -861,6 +882,7 @@ mod tests {
         ));
         assert!(keys.insert(
             SyntheticJob {
+                topology: TopologySpec::default(),
                 pattern: TrafficPattern::Hotspot { hot_fraction: 0.4 },
                 ..base
             }

@@ -44,6 +44,7 @@ use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+use noc_sim::topology::TopologySpec;
 use noc_sim::traffic::TrafficPattern;
 
 use crate::experiment::{Experiment, NetworkMetrics};
@@ -57,7 +58,7 @@ use crate::telemetry::{JsonValue, ManifestPoint, RunManifest};
 
 /// On-disk cache format revision; bumped whenever [`CacheRecord`]'s layout
 /// or the metrics codec changes, invalidating older segments.
-pub const CACHE_FORMAT_VERSION: u32 = 1;
+pub const CACHE_FORMAT_VERSION: u32 = 2;
 
 /// The code-version stamp written into every [`CacheRecord`]:
 /// `<crate version>+cache-v<format>+<experiment tag>`. Entries whose stamp
@@ -244,6 +245,10 @@ pub fn baseline_from_name(name: &str) -> Result<SyntheticBaseline, String> {
 /// Encodes a [`SyntheticJob`] as the wire job object.
 pub fn job_to_json(job: &SyntheticJob) -> JsonValue {
     let mut pairs = vec![
+        (
+            "topology".to_string(),
+            JsonValue::Str(job.topology.wire_name()),
+        ),
         ("level".to_string(), JsonValue::Num(job.level as f64)),
         (
             "pattern".to_string(),
@@ -266,8 +271,17 @@ pub fn job_to_json(job: &SyntheticJob) -> JsonValue {
 ///
 /// # Errors
 ///
-/// Missing/malformed fields, `level == 0`, or `rate` outside `(0, 1]`.
+/// Missing/malformed fields, `level == 0`, `rate` outside `(0, 1]`, or an
+/// unparseable `topology` name. An absent `topology` means the default
+/// mesh4x4 — pre-topology clients stay compatible.
 pub fn job_from_json(v: &JsonValue) -> Result<SyntheticJob, String> {
+    let topology = match v.get("topology") {
+        None => TopologySpec::default(),
+        Some(t) => {
+            let name = t.as_str().ok_or("job topology must be a string")?;
+            TopologySpec::from_wire_name(name).map_err(|e| e.to_string())?
+        }
+    };
     let level = v
         .get("level")
         .and_then(JsonValue::as_u64)
@@ -289,6 +303,7 @@ pub fn job_from_json(v: &JsonValue) -> Result<SyntheticJob, String> {
         v.get("hot_fraction").and_then(JsonValue::as_f64),
     )?;
     Ok(SyntheticJob {
+        topology,
         level,
         pattern,
         rate,
@@ -1661,6 +1676,7 @@ const SUBMIT_FIELDS: FieldTable = &[
 ];
 
 const JOB_FIELDS: FieldTable = &[
+    ("topology", "string", "optional topology wire name (default `mesh4x4`): `mesh<W>x<H>` or `circ<N>s<S>` for the ring-circulant C(N; 1, S) — see TOPOLOGY.md"),
     ("level", "number", "sprint level (active cores), ≥ 1"),
     ("pattern", "string", "one of `uniform`, `transpose`, `bitcomp`, `tornado`, `shuffle`, `neighbor`, `hotspot`"),
     ("hot_fraction", "number", "hotspot probability in [0, 1]; required iff `pattern` is `hotspot`"),
@@ -1793,6 +1809,7 @@ mod tests {
     fn sample_jobs() -> Vec<SyntheticJob> {
         vec![
             SyntheticJob {
+                topology: TopologySpec::default(),
                 level: 4,
                 pattern: TrafficPattern::UniformRandom,
                 rate: 0.05,
@@ -1800,6 +1817,7 @@ mod tests {
                 baseline: SyntheticBaseline::NocSprinting,
             },
             SyntheticJob {
+                topology: TopologySpec::default(),
                 level: 4,
                 pattern: TrafficPattern::Hotspot { hot_fraction: 0.3 },
                 rate: 0.1,

@@ -9,7 +9,7 @@
 //! neighbor), giving shorter worst-case inter-node communication.
 
 use noc_sim::geometry::NodeId;
-use noc_sim::topology::Mesh2D;
+use noc_sim::topology::{topo_nodes, Mesh2D, Topo, Topology};
 
 /// The activation order of all nodes (Algorithm 1's list `L`).
 ///
@@ -23,12 +23,13 @@ use noc_sim::topology::Mesh2D;
 /// // Fig. 5a: 3-core sprinting uses {0, 1, 4}; 4-core adds node 5.
 /// assert_eq!(&ids[..4], &[0, 1, 4, 5]);
 /// ```
-pub fn sprint_order(mesh: &Mesh2D, master: NodeId) -> Vec<NodeId> {
-    let mc = mesh.coord(master);
-    let mut nodes: Vec<NodeId> = mesh.nodes().collect();
-    // Stable sort on squared distance keeps index order for ties, as the
-    // algorithm specifies ("break ties according to the order of indexes").
-    nodes.sort_by_key(|&n| mesh.coord(n).euclidean_sq(mc));
+pub fn sprint_order(topo: &dyn Topology, master: NodeId) -> Vec<NodeId> {
+    let mut nodes: Vec<NodeId> = topo_nodes(topo).collect();
+    // Stable sort on the topology's sprint weight keeps index order for
+    // ties, as the algorithm specifies ("break ties according to the order
+    // of indexes"). On a mesh the weight is squared Euclidean distance; on
+    // a circulant it is ring distance (see TOPOLOGY.md).
+    nodes.sort_by_key(|&n| topo.sprint_weight(master, n));
     nodes
 }
 
@@ -45,7 +46,7 @@ pub fn sprint_order(mesh: &Mesh2D, master: NodeId) -> Vec<NodeId> {
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SprintSet {
-    mesh: Mesh2D,
+    topo: Topo,
     master: NodeId,
     level: usize,
     /// Activation order (all N nodes); the active set is `order[..level]`.
@@ -62,18 +63,30 @@ impl SprintSet {
     /// Panics if `level` is zero or exceeds the node count, or if `master`
     /// is out of range.
     pub fn new(mesh: Mesh2D, master: NodeId, level: usize) -> Self {
+        Self::on(Topo::from(mesh), master, level)
+    }
+
+    /// Builds the sprint set on an arbitrary topology, growing the region
+    /// in ascending [`Topology::sprint_weight`] order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is zero or exceeds the node count, or if `master`
+    /// is out of range.
+    pub fn on(topo: Topo, master: NodeId, level: usize) -> Self {
         assert!(
-            (1..=mesh.len()).contains(&level),
+            (1..=topo.len()).contains(&level),
             "sprint level {level} outside 1..={}",
-            mesh.len()
+            topo.len()
         );
-        let order = sprint_order(&mesh, master);
-        let mut active = vec![false; mesh.len()];
+        assert!(master.0 < topo.len(), "master {master} out of range");
+        let order = sprint_order(topo.as_dyn(), master);
+        let mut active = vec![false; topo.len()];
         for &n in &order[..level] {
             active[n.0] = true;
         }
         SprintSet {
-            mesh,
+            topo,
             master,
             level,
             order,
@@ -88,8 +101,20 @@ impl SprintSet {
     }
 
     /// The mesh.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-mesh sprint set; use [`SprintSet::topo`] for
+    /// topology-agnostic access.
     pub fn mesh(&self) -> &Mesh2D {
-        &self.mesh
+        self.topo
+            .as_mesh()
+            .expect("sprint set is not on a mesh topology")
+    }
+
+    /// The topology the region grows on.
+    pub fn topo(&self) -> &Topo {
+        &self.topo
     }
 
     /// The master node.

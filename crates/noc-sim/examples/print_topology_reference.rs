@@ -1,0 +1,6 @@
+//! Prints the generated TOPOLOGY.md summary table (see the drift guard in
+//! `tests/tests/topology_pluralism.rs`). Regenerate the block with:
+//! `cargo run -p noc-sim --example print_topology_reference`.
+fn main() {
+    println!("{}", noc_sim::topology::topology_reference());
+}

@@ -15,6 +15,16 @@ pub enum TopologyError {
         /// Requested height.
         height: u16,
     },
+    /// A circulant skip was degenerate: the four neighbor ports must reach
+    /// four distinct nodes, which requires `2 <= skip` and `2 * skip < n`.
+    BadCirculant {
+        /// Requested node count.
+        n: usize,
+        /// Requested chord skip.
+        skip: usize,
+    },
+    /// A topology wire name did not parse.
+    UnknownTopology(String),
 }
 
 impl fmt::Display for TopologyError {
@@ -22,6 +32,15 @@ impl fmt::Display for TopologyError {
         match self {
             TopologyError::EmptyMesh { width, height } => {
                 write!(f, "mesh dimensions must be nonzero, got {width}x{height}")
+            }
+            TopologyError::BadCirculant { n, skip } => {
+                write!(
+                    f,
+                    "circulant C({n}; 1, {skip}) is degenerate; need 2 <= skip and 2 * skip < n"
+                )
+            }
+            TopologyError::UnknownTopology(name) => {
+                write!(f, "unknown topology {name:?} (expected mesh<W>x<H> or circ<N>s<S>)")
             }
         }
     }

@@ -45,7 +45,7 @@ use crate::error::SimError;
 use crate::geometry::{Direction, NodeId};
 use crate::packet::PacketId;
 use crate::probe::Probe;
-use crate::topology::Mesh2D;
+use crate::topology::{topo_nodes, Topology};
 
 /// One scheduled fault in a [`FaultPlan`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -219,11 +219,11 @@ impl FaultPlan {
     }
 
     /// Kills every directed link touching `node` (both directions to each
-    /// mesh neighbor) at cycle `at` — a whole-router fail-stop.
+    /// topology neighbor) at cycle `at` — a whole-router fail-stop.
     #[must_use]
-    pub fn kill_router(mut self, mesh: &Mesh2D, node: NodeId, at: u64) -> Self {
+    pub fn kill_router(mut self, topo: &dyn Topology, node: NodeId, at: u64) -> Self {
         for d in Direction::ALL {
-            if let Some(n) = mesh.neighbor(node, d) {
+            if let Some(n) = topo.neighbor(node, d) {
                 self.faults.push(ScheduledFault::LinkKill { from: node, to: n, at });
                 self.faults.push(ScheduledFault::LinkKill { from: n, to: node, at });
             }
@@ -238,25 +238,25 @@ impl FaultPlan {
         })
     }
 
-    /// Validates the plan against a mesh: every link fault must name a pair
-    /// of mesh neighbors and every window must be non-empty (finite windows
+    /// Validates the plan against a topology: every link fault must name a
+    /// pair of neighbors and every window must be non-empty (finite windows
     /// guarantee no flit waits forever on a transient fault).
     ///
     /// # Errors
     ///
     /// [`SimError::InvalidConfig`] describing the first offending fault.
-    pub fn validate(&self, mesh: &Mesh2D) -> Result<(), SimError> {
+    pub fn validate(&self, topo: &dyn Topology) -> Result<(), SimError> {
         let neighbors = |a: NodeId, b: NodeId| -> bool {
-            Direction::ALL.into_iter().any(|d| mesh.neighbor(a, d) == Some(b))
+            Direction::ALL.into_iter().any(|d| topo.neighbor(a, d) == Some(b))
         };
         let in_range =
-            |n: NodeId| -> bool { n.0 < mesh.len() };
+            |n: NodeId| -> bool { n.0 < topo.len() };
         for f in &self.faults {
             match *f {
                 ScheduledFault::LinkDrop { from, to, start, end } => {
                     if !in_range(from) || !in_range(to) || !neighbors(from, to) {
                         return Err(SimError::InvalidConfig(format!(
-                            "fault plan: {from} -> {to} is not a mesh link"
+                            "fault plan: {from} -> {to} is not a topology link"
                         )));
                     }
                     if end <= start {
@@ -268,14 +268,14 @@ impl FaultPlan {
                 ScheduledFault::LinkKill { from, to, .. } => {
                     if !in_range(from) || !in_range(to) || !neighbors(from, to) {
                         return Err(SimError::InvalidConfig(format!(
-                            "fault plan: {from} -> {to} is not a mesh link"
+                            "fault plan: {from} -> {to} is not a topology link"
                         )));
                     }
                 }
                 ScheduledFault::RouterFreeze { node, start, end } => {
                     if !in_range(node) {
                         return Err(SimError::InvalidConfig(format!(
-                            "fault plan: frozen router {node} outside mesh"
+                            "fault plan: frozen router {node} outside the topology"
                         )));
                     }
                     if end <= start {
@@ -287,7 +287,7 @@ impl FaultPlan {
                 ScheduledFault::WakeupDelay { node, .. } => {
                     if !in_range(node) {
                         return Err(SimError::InvalidConfig(format!(
-                            "fault plan: wakeup delay at {node} outside mesh"
+                            "fault plan: wakeup delay at {node} outside the topology"
                         )));
                     }
                 }
@@ -305,21 +305,25 @@ impl FaultPlan {
     ///
     /// # Panics
     ///
-    /// Panics if `active.len() != mesh.len()` or a window range is inverted.
-    pub fn random(mesh: &Mesh2D, active: &[bool], cfg: &RandomFaultConfig, seed: u64) -> Self {
-        assert_eq!(active.len(), mesh.len(), "mask length mismatch");
+    /// Panics if `active.len() != topo.len()` or a window range is inverted.
+    pub fn random(
+        topo: &dyn Topology,
+        active: &[bool],
+        cfg: &RandomFaultConfig,
+        seed: u64,
+    ) -> Self {
+        assert_eq!(active.len(), topo.len(), "mask length mismatch");
         assert!(cfg.outage_min <= cfg.outage_max, "inverted outage range");
         assert!(cfg.freeze_min <= cfg.freeze_max, "inverted freeze range");
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut plan = FaultPlan::new();
         // Directed links between active neighbors, fixed order.
-        let links: Vec<(NodeId, NodeId)> = mesh
-            .nodes()
+        let links: Vec<(NodeId, NodeId)> = topo_nodes(topo)
             .filter(|n| active[n.0])
             .flat_map(|n| {
                 Direction::ALL
                     .into_iter()
-                    .filter_map(move |d| mesh.neighbor(n, d))
+                    .filter_map(move |d| topo.neighbor(n, d))
                     .map(move |m| (n, m))
             })
             .filter(|(_, m)| active[m.0])
@@ -336,7 +340,7 @@ impl FaultPlan {
             let at = rng.gen_range(0..cfg.horizon.max(1));
             plan = plan.link_kill(a, b, at);
         }
-        for n in mesh.nodes().filter(|n| active[n.0]) {
+        for n in topo_nodes(topo).filter(|n| active[n.0]) {
             if cfg.freeze_prob > 0.0 && rng.gen_bool(cfg.freeze_prob) {
                 let start = rng.gen_range(0..cfg.horizon.max(1));
                 let len = rng.gen_range(cfg.freeze_min.max(1)..=cfg.freeze_max.max(1));
@@ -604,6 +608,7 @@ impl Probe for FaultLog {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::topology::Mesh2D;
 
     #[test]
     fn empty_plan_is_empty() {

@@ -51,7 +51,7 @@ use crate::probe::Probe;
 use crate::router::{Router, RouterActivity, RouterParams, SleepState};
 use crate::routing::{RouteDecision, RoutingFunction};
 use crate::soa::{VcPhase, VcStore, FREE_VC};
-use crate::topology::Mesh2D;
+use crate::topology::{Mesh2D, Topo, Topology};
 use crate::vc::VcState;
 
 /// Power-gating discipline of the network.
@@ -349,9 +349,16 @@ impl ActiveState {
     }
 }
 
-/// A complete mesh network with attached NIs.
+/// A complete network with attached NIs, built on any [`Topology`].
 pub struct Network {
-    mesh: Mesh2D,
+    topo: Topo,
+    /// Precomputed neighbor table: `neighbors[node][dir as usize]` is the
+    /// neighbor's index, or `u32::MAX` on a topology edge. Hot stages read
+    /// this flat table instead of virtual-dispatching into the topology.
+    neighbors: Vec<[u32; 4]>,
+    /// Cached [`RoutingFunction::vc_classes`]; `1` (every mesh router)
+    /// leaves the VC allocators on their classic code path.
+    vc_classes: usize,
     params: RouterParams,
     routers: Vec<Router>,
     /// Struct-of-arrays storage for every router's pipeline state.
@@ -396,7 +403,7 @@ pub struct Network {
 impl std::fmt::Debug for Network {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Network")
-            .field("mesh", &self.mesh)
+            .field("topo", &self.topo)
             .field("params", &self.params)
             .field("now", &self.now)
             .field("in_flight", &self.in_flight())
@@ -415,33 +422,76 @@ impl Network {
         params: RouterParams,
         routing: Box<dyn RoutingFunction>,
     ) -> Result<Self, SimError> {
+        Network::with_topology(Topo::from(mesh), params, routing)
+    }
+
+    /// Builds a fully powered network on an arbitrary [`Topology`]
+    /// (see TOPOLOGY.md). [`Network::new`] is the mesh special case.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `params` fails validation, or if the routing
+    /// function partitions VCs into escape classes
+    /// ([`RoutingFunction::vc_classes`]) that do not evenly divide some
+    /// vnet's VC range.
+    pub fn with_topology(
+        topo: Topo,
+        params: RouterParams,
+        routing: Box<dyn RoutingFunction>,
+    ) -> Result<Self, SimError> {
         params.validate()?;
-        let store = VcStore::new(mesh.len(), &params, |n| {
+        let vc_classes = routing.vc_classes();
+        if vc_classes > 1 {
+            for vnet in 0..params.vnets {
+                let range = params.vnet_vcs(vnet as u8);
+                if !range.len().is_multiple_of(vc_classes) {
+                    return Err(SimError::InvalidConfig(format!(
+                        "vnet {vnet} has {} VCs, not divisible into {vc_classes} escape classes",
+                        range.len()
+                    )));
+                }
+            }
+        }
+        let len = topo.len();
+        let store = VcStore::new(len, &params, |n| {
             let mut connected = [true; Port::COUNT];
             for port in Port::ALL {
                 if let Some(dir) = port.direction() {
-                    connected[port.index()] = mesh.neighbor(NodeId(n), dir).is_some();
+                    connected[port.index()] = topo.neighbor(NodeId(n), dir).is_some();
                 }
             }
             connected
         });
+        let neighbors = (0..len)
+            .map(|n| {
+                let mut row = [u32::MAX; 4];
+                for dir in crate::geometry::Direction::ALL {
+                    if let Some(m) = topo.neighbor(NodeId(n), dir) {
+                        row[dir as usize] = m.0 as u32;
+                    }
+                }
+                row
+            })
+            .collect();
         Ok(Network {
-            mesh,
+            topo,
+            neighbors,
+            vc_classes,
             params,
-            routers: vec![Router::new(); mesh.len()],
+            routers: vec![Router::new(); len],
             store,
-            nis: (0..mesh.len()).map(|_| Ni::new(&params)).collect(),
-            link_in: (0..mesh.len())
+            nis: (0..len).map(|_| Ni::new(&params)).collect(),
+            link_in: (0..len)
                 .map(|_| (0..Port::COUNT).map(|_| VecDeque::new()).collect())
                 .collect(),
-            credit_in: (0..mesh.len()).map(|_| VecDeque::new()).collect(),
+            credit_in: (0..len).map(|_| VecDeque::new()).collect(),
             routing,
             ejected: Vec::new(),
             gating: GatingMode::Static,
             link_latency: std::collections::HashMap::new(),
             faults: None,
             fault_stats: FaultStats::default(),
-            active: ActiveState::new(mesh.len()),
+            active: ActiveState::new(len),
             engine: StepEngine::ActiveSet,
             fast_forward: true,
             stage_cycles: StageCycles::default(),
@@ -462,7 +512,7 @@ impl Network {
     /// [`SimError::InvalidConfig`] if the plan names links that are not mesh
     /// links or schedules empty windows.
     pub fn set_fault_plan(&mut self, plan: &FaultPlan) -> Result<(), SimError> {
-        plan.validate(&self.mesh)?;
+        plan.validate(self.topo.as_dyn())?;
         self.faults = if plan.is_empty() {
             None
         } else {
@@ -498,14 +548,48 @@ impl Network {
     ///
     /// # Panics
     ///
-    /// Panics if the nodes are not mesh neighbors or `cycles == 0`.
+    /// Panics if the nodes are not topology neighbors or `cycles == 0`.
     pub fn set_link_latency(&mut self, from: NodeId, to: NodeId, cycles: u64) {
         assert!(cycles >= 1, "link latency must be at least one cycle");
         let adjacent = crate::geometry::Direction::ALL
             .into_iter()
-            .any(|d| self.mesh.neighbor(from, d) == Some(to));
-        assert!(adjacent, "{from} and {to} are not mesh neighbors");
+            .any(|d| self.neighbor_of(from.0, d) == Some(to));
+        assert!(adjacent, "{from} and {to} are not topology neighbors");
         self.link_latency.insert((from.0, to.0), cycles);
+    }
+
+    /// The neighbor of `node` in direction `d`, from the precomputed table.
+    #[inline]
+    fn neighbor_of(&self, node: usize, d: crate::geometry::Direction) -> Option<NodeId> {
+        let v = self.neighbors[node][d as usize];
+        (v != u32::MAX).then_some(NodeId(v as usize))
+    }
+
+    /// Narrows a vnet's VC range to the escape-class subrange the routing
+    /// function assigns this hop (the dateline classes of TOPOLOGY.md).
+    /// With one class — every mesh router — the range is returned untouched,
+    /// which is the classic, bit-identical code path. Ejection (`Local`)
+    /// keeps the full range: class discipline only orders link channels.
+    #[inline]
+    fn class_range(
+        &self,
+        node: usize,
+        out_idx: usize,
+        dst: NodeId,
+        range: std::ops::Range<usize>,
+    ) -> std::ops::Range<usize> {
+        if self.vc_classes <= 1 || out_idx == Port::Local.index() {
+            return range;
+        }
+        let class = self.routing.vc_class(
+            self.topo.as_dyn(),
+            NodeId(node),
+            Port::from_index(out_idx),
+            dst,
+        );
+        let sub = range.len() / self.vc_classes;
+        let start = range.start + class * sub;
+        start..start + sub
     }
 
     /// The traversal latency of the directed link `from -> to`.
@@ -562,8 +646,20 @@ impl Network {
     }
 
     /// The mesh this network is built on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network was built on a non-mesh topology; use
+    /// [`Network::topology`] for topology-agnostic access.
     pub fn mesh(&self) -> &Mesh2D {
-        &self.mesh
+        self.topo
+            .as_mesh()
+            .expect("network topology is not a mesh")
+    }
+
+    /// The topology this network is built on (see TOPOLOGY.md).
+    pub fn topology(&self) -> &dyn Topology {
+        self.topo.as_dyn()
     }
 
     /// Router parameters.
@@ -618,7 +714,7 @@ impl Network {
     ///
     /// Panics if `active.len()` differs from the node count.
     pub fn set_power_mask(&mut self, active: &[bool]) {
-        assert_eq!(active.len(), self.mesh.len(), "mask length mismatch");
+        assert_eq!(active.len(), self.routers.len(), "mask length mismatch");
         for (r, &on) in self.routers.iter_mut().zip(active) {
             r.powered_on = on;
         }
@@ -668,8 +764,8 @@ impl Network {
     /// Panics if the source node is dark (traffic generators must only drive
     /// powered-on nodes) or out of range.
     pub fn enqueue_packet(&mut self, p: Packet) {
-        assert!(p.src.0 < self.mesh.len(), "packet source out of range");
-        assert!(p.dst.0 < self.mesh.len(), "packet destination out of range");
+        assert!(p.src.0 < self.routers.len(), "packet source out of range");
+        assert!(p.dst.0 < self.routers.len(), "packet destination out of range");
         assert!(
             self.routers[p.src.0].powered_on,
             "cannot inject at dark node {}",
@@ -800,7 +896,7 @@ impl Network {
         let mut buffered = 0;
         let mut busy = 0;
         let mut queued = 0;
-        for node in 0..self.mesh.len() {
+        for node in 0..self.routers.len() {
             let l: usize = self.link_in[node].iter().map(VecDeque::len).sum();
             assert_eq!(a.link_pending[node] as usize, l, "link_pending[{node}]");
             assert!(l == 0 || a.link.contains(node), "link set missing {node}");
@@ -1260,7 +1356,7 @@ impl Network {
                 self.active.credit = set;
             }
             StepEngine::ExhaustiveSweep => {
-                for node in 0..self.mesh.len() {
+                for node in 0..self.routers.len() {
                     events += self.deliver_credits_at(node, now);
                 }
             }
@@ -1332,7 +1428,7 @@ impl Network {
                 }
             }
             StepEngine::ExhaustiveSweep => {
-                for node in 0..self.mesh.len() {
+                for node in 0..self.routers.len() {
                     events += self.deliver_flits_at(node, now, probe.as_deref_mut())?;
                 }
             }
@@ -1444,20 +1540,20 @@ impl Network {
     /// out transient faults on the primary route over dropping.
     fn compute_route(&self, node: usize, dst: NodeId, now: u64) -> RouteDecision {
         let Some(fs) = self.faults.as_ref() else {
-            return RouteDecision::Forward(self.routing.route(&self.mesh, NodeId(node), dst));
+            return RouteDecision::Forward(self.routing.route(self.topo.as_dyn(), NodeId(node), dst));
         };
         let strict = |a: NodeId, b: NodeId| {
             !fs.link_faulted(a.0, b.0, now) && !fs.router_frozen(b.0, now)
         };
         match self
             .routing
-            .route_degraded(&self.mesh, NodeId(node), dst, &strict)
+            .route_degraded(self.topo.as_dyn(), NodeId(node), dst, &strict)
         {
             RouteDecision::Forward(p) => RouteDecision::Forward(p),
             RouteDecision::Drop => {
                 let lenient = |a: NodeId, b: NodeId| !fs.link_dead(a.0, b.0, now);
                 self.routing
-                    .route_degraded(&self.mesh, NodeId(node), dst, &lenient)
+                    .route_degraded(self.topo.as_dyn(), NodeId(node), dst, &lenient)
             }
         }
     }
@@ -1585,7 +1681,7 @@ impl Network {
                 self.active.router = set;
             }
             StepEngine::ExhaustiveSweep => {
-                for node in 0..self.mesh.len() {
+                for node in 0..self.routers.len() {
                     actions += self.fault_reroute_at(node, now, probe.as_deref_mut());
                 }
             }
@@ -1627,9 +1723,8 @@ impl Network {
                         continue; // packet already crossing; let it finish
                     }
                     let next = self
-                        .mesh
-                        .neighbor(NodeId(node), d)
-                        .expect("routed off the mesh");
+                        .neighbor_of(node, d)
+                        .expect("routed off the topology");
                     let dead = self
                         .faults
                         .as_ref()
@@ -1696,8 +1791,7 @@ impl Network {
             }
             Port::Dir(d) => {
                 let upstream = self
-                    .mesh
-                    .neighbor(NodeId(node), d)
+                    .neighbor_of(node, d)
                     .expect("flit entered through an edge port");
                 self.pending_credits.push(PendingCredit {
                     node: upstream.0 as u32,
@@ -1721,7 +1815,7 @@ impl Network {
                 self.active.ni = set;
             }
             StepEngine::ExhaustiveSweep => {
-                for node in 0..self.mesh.len() {
+                for node in 0..self.routers.len() {
                     events += self.inject_at(node, now, probe.as_deref_mut());
                 }
             }
@@ -1844,7 +1938,7 @@ impl Network {
                 self.active.router = set;
             }
             StepEngine::ExhaustiveSweep => {
-                for node in 0..self.mesh.len() {
+                for node in 0..self.routers.len() {
                     grants += self.vc_allocate_at(node, now, probe.as_deref_mut());
                 }
             }
@@ -1909,13 +2003,15 @@ impl Network {
                 for &&(id, in_port, in_vc, _) in reqs.iter() {
                     // Grant a free output VC from the packet's own vnet
                     // partition — vnets never share VCs, which is what
-                    // breaks request/response protocol-deadlock cycles.
-                    let vnet = self
+                    // breaks request/response protocol-deadlock cycles —
+                    // narrowed to the routing function's escape class when
+                    // it declares more than one.
+                    let front = self
                         .store
                         .front(self.store.vc_id(node, in_port, in_vc))
-                        .expect("VA requester has a buffered head flit")
-                        .vnet;
-                    let range = self.params.vnet_vcs(vnet);
+                        .expect("VA requester has a buffered head flit");
+                    let (vnet, dst) = (front.vnet, front.dst);
+                    let range = self.class_range(node, out_idx, dst, self.params.vnet_vcs(vnet));
                     let out_vc = range
                         .clone()
                         .find(|&v| self.store.out_alloc[out_pid * vcs + v] == FREE_VC);
@@ -1989,7 +2085,17 @@ impl Network {
                 }
                 let (in_port, in_vc) = (local / vcs, local % vcs);
                 let id = self.store.vc_id(node, in_port, in_vc);
-                let range = self.params.vnet_vcs(self.store.head_vnet[id]);
+                let mut range = self.params.vnet_vcs(self.store.head_vnet[id]);
+                if self.vc_classes > 1 {
+                    // Escape-class narrowing; guarded so single-class
+                    // topologies never touch the front flit here.
+                    let dst = self
+                        .store
+                        .front(id)
+                        .expect("VA requester has a buffered head flit")
+                        .dst;
+                    range = self.class_range(node, out_idx, dst, range);
+                }
                 let Some(out_vc) = self.store.first_free_out_vc(out_pid, range) else {
                     continue;
                 };
@@ -2025,7 +2131,7 @@ impl Network {
                 self.active.router = set;
             }
             StepEngine::ExhaustiveSweep => {
-                for node in 0..self.mesh.len() {
+                for node in 0..self.routers.len() {
                     let (g, e) = self.switch_allocate_at(node, now, probe.as_deref_mut());
                     grants += g;
                     ejections += e;
@@ -2047,9 +2153,8 @@ impl Network {
         }
         if let (Port::Dir(d), Some(fs)) = (out_port, self.faults.as_ref()) {
             let next = self
-                .mesh
-                .neighbor(NodeId(node), d)
-                .expect("routed off the mesh");
+                .neighbor_of(node, d)
+                .expect("routed off the topology");
             if fs.link_faulted(node, next.0, now) || fs.router_frozen(next.0, now) {
                 return false;
             }
@@ -2320,9 +2425,8 @@ impl Network {
                 debug_assert!(self.store.credits[out_id] > 0, "SA granted without credit");
                 self.store.credits[out_id] -= 1;
                 let next = self
-                    .mesh
-                    .neighbor(NodeId(node), d)
-                    .expect("routing sent flit off the mesh");
+                    .neighbor_of(node, d)
+                    .expect("routing sent flit off the topology");
                 let next_in_port = Port::Dir(d.opposite()).index();
                 let latency = self.link_latency(NodeId(node), next);
                 // Staged, landed by flush_pending at end of step: at most
@@ -2774,7 +2878,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "not mesh neighbors")]
+    #[should_panic(expected = "not topology neighbors")]
     fn non_neighbor_link_override_panics() {
         let mut net = net();
         net.set_link_latency(NodeId(0), NodeId(5), 3);

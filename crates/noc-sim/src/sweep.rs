@@ -19,7 +19,7 @@ use crate::probe::Probe;
 use crate::router::RouterParams;
 use crate::routing::RoutingFunction;
 use crate::sim::{SimConfig, Simulation};
-use crate::topology::Mesh2D;
+use crate::topology::{Mesh2D, Topo};
 use crate::traffic::{Placement, TrafficGen, TrafficPattern};
 
 /// Derives the RNG seed of sweep point `index` from the sweep's base seed.
@@ -108,8 +108,8 @@ impl SweepReport {
 /// sweeps can fan out across a worker pool.
 #[derive(Debug, Clone)]
 pub struct LoadSweep {
-    /// Mesh under test.
-    pub mesh: Mesh2D,
+    /// Topology under test.
+    pub topo: Topo,
     /// Router parameters.
     pub params: RouterParams,
     /// Traffic pattern.
@@ -127,8 +127,13 @@ pub struct LoadSweep {
 impl LoadSweep {
     /// A standard sweep from 4% to ~92% load in 8% steps.
     pub fn standard(mesh: Mesh2D, pattern: TrafficPattern) -> Self {
+        LoadSweep::standard_on(Topo::from(mesh), pattern)
+    }
+
+    /// [`LoadSweep::standard`] on an arbitrary topology.
+    pub fn standard_on(topo: Topo, pattern: TrafficPattern) -> Self {
         LoadSweep {
-            mesh,
+            topo,
             params: RouterParams::paper(),
             pattern,
             packet_len: 5,
@@ -186,7 +191,7 @@ impl LoadSweep {
         F: Fn() -> Box<dyn RoutingFunction> + ?Sized,
     {
         let load = self.loads[index];
-        let net = Network::new(self.mesh, self.params, make_routing())?;
+        let net = Network::with_topology(self.topo.clone(), self.params, make_routing())?;
         let traffic = TrafficGen::new(
             self.pattern,
             placement.clone(),

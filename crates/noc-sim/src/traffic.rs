@@ -12,7 +12,7 @@ use rand::{Rng, SeedableRng};
 use crate::error::SimError;
 use crate::geometry::NodeId;
 use crate::packet::{Packet, PacketId};
-use crate::topology::Mesh2D;
+use crate::topology::{topo_nodes, Topology};
 
 /// Destination selection rule over a logical node space of size `k`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -137,13 +137,13 @@ impl Placement {
     ///
     /// Returns [`SimError::PlacementOutOfRange`] or
     /// [`SimError::DuplicatePlacement`] on invalid input.
-    pub fn new(nodes: Vec<NodeId>, mesh: &Mesh2D) -> Result<Self, SimError> {
-        let mut seen = vec![false; mesh.len()];
+    pub fn new(nodes: Vec<NodeId>, topo: &dyn Topology) -> Result<Self, SimError> {
+        let mut seen = vec![false; topo.len()];
         for &n in &nodes {
-            if n.0 >= mesh.len() {
+            if n.0 >= topo.len() {
                 return Err(SimError::PlacementOutOfRange {
                     node: n,
-                    mesh_len: mesh.len(),
+                    mesh_len: topo.len(),
                 });
             }
             if seen[n.0] {
@@ -154,19 +154,19 @@ impl Placement {
         Ok(Placement { nodes })
     }
 
-    /// Identity placement over the whole mesh.
-    pub fn full(mesh: &Mesh2D) -> Self {
+    /// Identity placement over the whole topology.
+    pub fn full(topo: &dyn Topology) -> Self {
         Placement {
-            nodes: mesh.nodes().collect(),
+            nodes: topo_nodes(topo).collect(),
         }
     }
 
     /// A uniformly random placement of `k` logical nodes on the mesh
     /// (full-sprinting methodology of Fig. 11).
-    pub fn random(k: usize, mesh: &Mesh2D, rng: &mut SmallRng) -> Self {
-        assert!(k <= mesh.len(), "cannot place {k} nodes on {} slots", mesh.len());
+    pub fn random(k: usize, topo: &dyn Topology, rng: &mut SmallRng) -> Self {
+        assert!(k <= topo.len(), "cannot place {k} nodes on {} slots", topo.len());
         // Partial Fisher-Yates.
-        let mut pool: Vec<NodeId> = mesh.nodes().collect();
+        let mut pool: Vec<NodeId> = topo_nodes(topo).collect();
         for i in 0..k {
             let j = rng.gen_range(i..pool.len());
             pool.swap(i, j);
@@ -377,6 +377,7 @@ impl TrafficGen {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::topology::Mesh2D;
 
     fn rng() -> SmallRng {
         SmallRng::seed_from_u64(42)

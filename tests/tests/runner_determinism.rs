@@ -11,6 +11,7 @@ use noc_sim::sim::SimConfig;
 use noc_sim::sweep::{point_seed, LoadSweep};
 use noc_sim::topology::Mesh2D;
 use noc_sim::traffic::{Placement, TrafficPattern};
+use noc_sim::topology::TopologySpec;
 use noc_sprinting::cdor::CdorRouting;
 use noc_sprinting::experiment::Experiment;
 use noc_sprinting::runner::{ExperimentRunner, ResultCache, SyntheticBaseline, SyntheticJob};
@@ -134,6 +135,7 @@ fn synthetic_jobs_are_reproducible_across_worker_counts_and_caching() {
                 SyntheticBaseline::SpreadAggregate,
             ]
             .map(|baseline| SyntheticJob {
+                topology: TopologySpec::default(),
                 level: 4,
                 pattern: TrafficPattern::UniformRandom,
                 rate,

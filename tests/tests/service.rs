@@ -8,6 +8,7 @@ use std::path::PathBuf;
 use std::sync::Mutex;
 
 use noc_sim::traffic::TrafficPattern;
+use noc_sim::topology::TopologySpec;
 use noc_sprinting::runner::{ExperimentRunner, SyntheticBaseline, SyntheticJob};
 use noc_sprinting::service::{
     code_version, metrics_from_pairs, DiskResultCache, ServiceResponse, SubmitRequest,
@@ -29,6 +30,7 @@ fn scratch_dir(label: &str) -> PathBuf {
 fn jobs(count: usize) -> Vec<SyntheticJob> {
     (0..count)
         .map(|i| SyntheticJob {
+            topology: TopologySpec::default(),
             level: [4, 8][i % 2],
             pattern: [
                 TrafficPattern::UniformRandom,
